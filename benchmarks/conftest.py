@@ -1,0 +1,19 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every bench uses ``benchmark.pedantic(..., rounds=1)`` — solver runs are
+seconds-long, so statistical repetition is wasted; the interesting output
+is the relative ordering across solver configurations, which the benches
+additionally assert.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a solve exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once():
+    return run_once

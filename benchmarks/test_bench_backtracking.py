@@ -1,0 +1,70 @@
+"""Ablation A-ncb: non-chronological vs chronological bound backtracking.
+
+Section 4 proposes learning the bound-conflict clause ``w_bc`` and
+backtracking non-chronologically; the straightforward alternative blames
+every decision and backtracks one level.  The bench compares both on a
+routing instance where bound conflicts dominate.
+"""
+
+import pytest
+
+from repro.benchgen import generate_covering, generate_routing
+from repro.core import BsoloSolver, SolverOptions
+
+TIME_LIMIT = 10.0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_routing(rows=5, cols=5, nets=10, capacity=2, detours=3, seed=9)
+
+
+@pytest.mark.parametrize("learning", [True, False], ids=["ncb", "chrono"])
+def test_bound_backtracking(benchmark, instance, learning):
+    def solve_once():
+        options = SolverOptions(
+            lower_bound="lpr",
+            bound_conflict_learning=learning,
+            time_limit=TIME_LIMIT,
+        )
+        return BsoloSolver(instance, options).solve()
+
+    result = benchmark.pedantic(solve_once, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["decisions"] = result.stats.decisions
+    benchmark.extra_info["backjump_total"] = result.stats.backjump_total
+
+
+def test_same_optimum_both_modes(instance):
+    """The backtracking mode must not change the answer."""
+    costs = set()
+    for learning in (True, False):
+        options = SolverOptions(
+            lower_bound="lpr",
+            bound_conflict_learning=learning,
+            time_limit=TIME_LIMIT,
+        )
+        result = BsoloSolver(instance, options).solve()
+        if result.solved:
+            costs.add(result.best_cost)
+    assert len(costs) <= 1
+
+
+def test_ncb_explores_no_more_nodes():
+    """Clause learning from bound conflicts should not increase the
+    decision count on a covering instance (usually it shrinks it)."""
+    instance = generate_covering(
+        minterms=40, implicants=22, density=0.15, max_cost=30, seed=5
+    )
+    counts = {}
+    for learning in (True, False):
+        options = SolverOptions(
+            lower_bound="lpr",
+            bound_conflict_learning=learning,
+            time_limit=TIME_LIMIT,
+        )
+        solver = BsoloSolver(instance, options)
+        result = solver.solve()
+        assert result.solved
+        counts[learning] = solver.stats.decisions
+    assert counts[True] <= counts[False] * 2  # never catastrophically worse

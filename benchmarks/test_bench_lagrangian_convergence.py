@@ -1,0 +1,50 @@
+"""Ablation A-lgr: subgradient convergence (Section 6 discussion).
+
+"bsolo with LPR is significantly more efficient than bsolo with LGR.
+This is motivated by the slow convergence observed for the Lagrangian
+relaxation on most instances."  The bench quantifies that: bound quality
+as a function of subgradient iterations, against the LP bound (which one
+simplex solve reaches exactly).
+"""
+
+import pytest
+
+from repro.benchgen import generate_covering
+from repro.lagrangian import LagrangianBound, SubgradientOptions
+from repro.lp import LPRelaxationBound
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_covering(
+        minterms=60, implicants=30, density=0.12, max_cost=60, seed=31
+    )
+
+
+@pytest.mark.parametrize("iterations", [10, 40, 160, 640])
+def test_lgr_iterations(benchmark, instance, iterations):
+    bounder = LagrangianBound(
+        instance, SubgradientOptions(max_iterations=iterations)
+    )
+    bound = benchmark(lambda: bounder.compute({}))
+    benchmark.extra_info["bound"] = bound.value
+
+
+def test_lpr_single_solve(benchmark, instance):
+    bounder = LPRelaxationBound(instance)
+    bound = benchmark(lambda: bounder.compute({}))
+    benchmark.extra_info["bound"] = bound.value
+
+
+def test_convergence_is_monotone_and_slow(instance):
+    """More subgradient iterations never hurt, and even hundreds may not
+    reach the LP bound — the paper's explanation for LGR < LPR."""
+    lpr = LPRelaxationBound(instance).compute({}).value
+    values = []
+    for iterations in (10, 40, 160, 640):
+        bound = LagrangianBound(
+            instance, SubgradientOptions(max_iterations=iterations)
+        ).compute({})
+        values.append(bound.value)
+    assert values == sorted(values)  # monotone in iteration budget
+    assert all(value <= lpr for value in values)  # weak duality

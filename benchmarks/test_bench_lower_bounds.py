@@ -1,0 +1,72 @@
+"""Ablation A-lb: tightness and cost of the three lower bound procedures.
+
+Section 3 claims: the LPR bound is "often higher" than the MIS bound, and
+LGR can approach LPR but converges slowly.  These benches measure both
+the bound values at the root of covering/routing instances and the time
+each procedure takes.
+"""
+
+import pytest
+
+from repro.benchgen import generate_covering, generate_routing
+from repro.lagrangian import LagrangianBound, SubgradientOptions
+from repro.lp import LPRelaxationBound
+from repro.mis import MISBound
+
+
+@pytest.fixture(scope="module")
+def covering():
+    return generate_covering(
+        minterms=60, implicants=30, density=0.12, max_cost=60, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def routing():
+    return generate_routing(rows=5, cols=5, nets=10, capacity=2, detours=3, seed=1)
+
+
+def _bounders(instance):
+    return {
+        "mis": MISBound(instance),
+        "lgr": LagrangianBound(instance, SubgradientOptions(max_iterations=100)),
+        "lpr": LPRelaxationBound(instance),
+    }
+
+
+@pytest.mark.parametrize("method", ["mis", "lgr", "lpr"])
+def test_root_bound_covering(benchmark, covering, method):
+    bounder = _bounders(covering)[method]
+    bound = benchmark(lambda: bounder.compute({}))
+    benchmark.extra_info["bound"] = bound.value
+    assert bound.value >= 0
+
+
+@pytest.mark.parametrize("method", ["mis", "lgr", "lpr"])
+def test_root_bound_routing(benchmark, routing, method):
+    bounder = _bounders(routing)[method]
+    bound = benchmark(lambda: bounder.compute({}))
+    benchmark.extra_info["bound"] = bound.value
+    assert bound.value >= 0
+
+
+def test_lpr_at_least_as_tight_as_mis(covering, routing):
+    """Section 3.1: 'It is also often the case that the linear programming
+    relaxation bound is higher than the one obtained with the MIS
+    approach.'"""
+    for instance in (covering, routing):
+        mis = MISBound(instance).compute({}).value
+        lpr = LPRelaxationBound(instance).compute({}).value
+        assert lpr >= mis
+
+
+def test_lgr_between_mis_and_lpr_with_enough_iterations(covering):
+    """With generous iteration budgets the subgradient bound approaches
+    the LP bound from below (integrality property of the 0/1 box)."""
+    mis = MISBound(covering).compute({}).value
+    lgr = LagrangianBound(
+        covering, SubgradientOptions(max_iterations=800)
+    ).compute({}).value
+    lpr = LPRelaxationBound(covering).compute({}).value
+    assert lgr <= lpr
+    assert lgr >= min(mis, lpr)  # not worse than both

@@ -1,0 +1,46 @@
+"""Table 1, rows [2] (grout-4-3-*): global routing.
+
+Paper shape: bsolo with lower bounding (MIS/LGR/LPR) solves the routing
+instances while plain bsolo and the PBS-like linear search return only
+upper bounds; the MILP baseline is fast.
+"""
+
+import pytest
+
+from repro.benchgen import generate_routing
+from repro.experiments import run_one
+
+TIME_LIMIT = 5.0
+SOLVERS = ("pbs", "galena", "cplex", "bsolo-plain", "bsolo-mis", "bsolo-lgr", "bsolo-lpr")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_routing(rows=6, cols=6, nets=14, capacity=2, detours=5, seed=2005)
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_grout_family(benchmark, instance, solver):
+    record = benchmark.pedantic(
+        lambda: run_one(solver, instance, "grout", TIME_LIMIT),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["status"] = record.result.status
+    benchmark.extra_info["best_cost"] = record.result.best_cost
+    # soundness: whoever solves must agree on optimality later; here just
+    # require a sane outcome
+    assert record.result.status in ("optimal", "unknown", "satisfiable")
+
+
+def test_grout_shape():
+    """Lower bounding beats plain search on routing (paper's key claim)."""
+    instance = generate_routing(
+        rows=6, cols=6, nets=14, capacity=2, detours=5, seed=2005
+    )
+    lpr = run_one("bsolo-lpr", instance, "grout", TIME_LIMIT)
+    plain = run_one("bsolo-plain", instance, "grout", TIME_LIMIT)
+    assert lpr.solved
+    if plain.solved:
+        # if plain finishes too, LPR must not be grossly slower
+        assert lpr.seconds <= plain.seconds * 20

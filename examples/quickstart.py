@@ -1,0 +1,49 @@
+"""Quickstart: model a small pseudo-boolean optimization problem and solve it.
+
+A tiny gate-sizing flavoured example: three optional buffers, at least one
+on each of two nets, the two expensive ones mutually exclusive, minimize
+total area.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PBModel, SolverOptions, solve
+
+
+def main() -> None:
+    model = PBModel()
+    a, b, c = model.new_variables("buf_a", "buf_b", "buf_c")
+
+    # each net needs at least one buffer
+    model.add_clause([a, b])       # net 1: a or b
+    model.add_clause([b, c])       # net 2: b or c
+    # the two big buffers cannot share the row
+    model.add_at_most([a, c], 1)
+    # minimize area
+    model.minimize([(5, a), (3, b), (4, c)])
+
+    instance = model.build()
+    print("instance:", instance)
+
+    # Solve with each lower-bounding configuration from the paper.
+    for method in ("plain", "mis", "lgr", "lpr"):
+        result = solve(instance, SolverOptions(lower_bound=method))
+        chosen = [
+            name
+            for var, name in instance.variable_names.items()
+            if result.best_assignment.get(var) == 1
+        ]
+        print(
+            "%-5s -> %s, cost %d, buffers %s, %d decisions"
+            % (
+                method,
+                result.status,
+                result.best_cost,
+                chosen,
+                result.stats.decisions,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: reproduction of "Effective Lower Bounding Techniques for
+Pseudo-Boolean Optimization" (Manquinho & Marques-Silva, DATE 2005).
+
+Public API tour
+---------------
+Build a model and solve it::
+
+    from repro import PBModel, SolverOptions, solve
+
+    model = PBModel()
+    x, y, z = model.new_variables("x", "y", "z")
+    model.add_clause([x, y])
+    model.add_at_most([y, z], 1)
+    model.minimize([(3, x), (2, y), (2, z)])
+    result = solve(model.build(), SolverOptions(lower_bound="lpr"))
+    print(result.status, result.best_cost)
+
+Load the OPB interchange format with :func:`parse_file`, compare against
+the baselines in :mod:`repro.baselines`, generate EDA-style benchmark
+instances with :mod:`repro.benchgen`, and regenerate the paper's Table 1
+with :func:`repro.experiments.generate_table1`.
+"""
+
+from .core.options import SolverOptions
+from .core.result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
+from .core.solver import BsoloSolver, solve
+from .pb.builder import PBModel
+from .pb.constraints import Constraint
+from .pb.instance import PBInstance
+from .pb.objective import Objective
+from .pb.opb import parse, parse_file, write, write_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BsoloSolver",
+    "Constraint",
+    "OPTIMAL",
+    "Objective",
+    "PBInstance",
+    "PBModel",
+    "SATISFIABLE",
+    "SolveResult",
+    "SolverOptions",
+    "UNKNOWN",
+    "UNSATISFIABLE",
+    "__version__",
+    "parse",
+    "parse_file",
+    "solve",
+    "write",
+    "write_file",
+]

@@ -1,0 +1,19 @@
+"""Comparator solvers from the paper's Table 1 and a brute-force oracle."""
+
+from .brute_force import BruteForceSolver, brute_force_optimum
+from .covering_bnb import CoveringBnBSolver
+from .cutting_planes import CuttingPlanesSolver, cardinality_reduction
+from .linear_search import LinearSearchSolver
+from .milp import MILPSolver
+from .sat_search import DecisionSearch
+
+__all__ = [
+    "BruteForceSolver",
+    "CoveringBnBSolver",
+    "CuttingPlanesSolver",
+    "DecisionSearch",
+    "LinearSearchSolver",
+    "MILPSolver",
+    "brute_force_optimum",
+    "cardinality_reduction",
+]

@@ -1,0 +1,60 @@
+"""Exhaustive reference solver (test oracle only).
+
+Enumerates all ``2^n`` assignments.  Obviously exponential — used by the
+test suite to validate every other solver on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..pb.instance import PBInstance
+from ..core.result import OPTIMAL, SATISFIABLE, SolveResult, UNSATISFIABLE
+from ..core.stats import SolverStats
+
+
+class BruteForceSolver:
+    """Enumerate every assignment; guaranteed-correct reference."""
+
+    name = "brute-force"
+
+    def __init__(self, instance: PBInstance, max_variables: int = 22):
+        if instance.num_variables > max_variables:
+            raise ValueError(
+                "brute force capped at %d variables (got %d)"
+                % (max_variables, instance.num_variables)
+            )
+        self._instance = instance
+
+    def solve(self) -> SolveResult:
+        instance = self._instance
+        n = instance.num_variables
+        best_cost: Optional[int] = None
+        best_assignment: Optional[Dict[int, int]] = None
+        for bits in itertools.product((0, 1), repeat=n):
+            assignment = {var: bits[var - 1] for var in range(1, n + 1)}
+            if not instance.check(assignment):
+                continue
+            cost = instance.cost(assignment)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+                if instance.is_satisfaction:
+                    break
+        stats = SolverStats()
+        if best_assignment is None:
+            return SolveResult(UNSATISFIABLE, stats=stats, solver_name=self.name)
+        status = SATISFIABLE if instance.is_satisfaction else OPTIMAL
+        return SolveResult(
+            status,
+            best_cost=best_cost,
+            best_assignment=best_assignment,
+            stats=stats,
+            solver_name=self.name,
+        )
+
+
+def brute_force_optimum(instance: PBInstance) -> Optional[int]:
+    """The optimal cost, or None when unsatisfiable."""
+    return BruteForceSolver(instance).solve().best_cost

@@ -1,0 +1,238 @@
+"""Classical branch-and-bound covering solver (scherzo-like, paper [5, 15]).
+
+Before SAT-based PBO, (binate) covering problems were solved by dedicated
+branch-and-bound procedures — Coudert's scherzo and the explicit solvers
+of Villa et al.: depth-first search with *per-node* covering reductions
+(unit clauses, pure polarity), an MIS lower bound at every node, and
+chronological backtracking (no learning).  The paper positions bsolo as
+the hybrid of this lineage with SAT techniques; having the classical
+solver in the repository makes that contrast measurable.
+
+Only applicable to clause-only instances (``PBInstance.is_covering``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from ..core.result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
+from ..core.stats import SolverStats
+from ..mis.independent_set import MISBound
+from ..pb.instance import PBInstance
+
+
+class _Frame:
+    """One DFS node: the variable branched on and the trail watermark."""
+
+    __slots__ = ("var", "next_value", "trail_mark")
+
+    def __init__(self, var: int, next_value: Optional[int], trail_mark: int):
+        self.var = var
+        self.next_value = next_value
+        self.trail_mark = trail_mark
+
+
+class CoveringBnBSolver:
+    """Depth-first branch & bound with per-node reductions and MIS bound."""
+
+    name = "scherzo-like"
+
+    def __init__(
+        self,
+        instance: PBInstance,
+        time_limit: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ):
+        if not instance.is_covering:
+            raise ValueError("CoveringBnBSolver requires a clause-only instance")
+        self._instance = instance
+        self._time_limit = time_limit
+        self._max_nodes = max_nodes
+        self.stats = SolverStats()
+        self._costs = instance.objective.costs
+        self._mis = MISBound(instance)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SolveResult:
+        start = time.monotonic()
+        deadline = start + self._time_limit if self._time_limit is not None else None
+        instance = self._instance
+
+        clauses: List[Set[int]] = [set(c.literals) for c in instance.constraints]
+        occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(clauses):
+            for literal in clause:
+                occurrences.setdefault(literal, []).append(index)
+
+        assignment: Dict[int, int] = {}
+        trail: List[int] = []  # variables in assignment order
+        upper = instance.objective.max_value + 1
+        best: Optional[Dict[int, int]] = None
+        status: Optional[str] = None
+        stack: List[_Frame] = []
+
+        def assign(var: int, value: int) -> bool:
+            """Set var; returns False when some clause becomes empty."""
+            assignment[var] = value
+            trail.append(var)
+            false_literal = var if value == 0 else -var
+            for index in occurrences.get(false_literal, ()):
+                clause = clauses[index]
+                if _satisfied(clause, assignment):
+                    continue
+                if all(_is_false(lit, assignment) for lit in clause):
+                    return False
+            return True
+
+        def propagate() -> bool:
+            """Unit-clause fixpoint; False on contradiction."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in clauses:
+                    live = None
+                    count = 0
+                    satisfied = False
+                    for literal in clause:
+                        var = abs(literal)
+                        value = assignment.get(var)
+                        if value is None:
+                            live = literal
+                            count += 1
+                        elif (value == 1) == (literal > 0):
+                            satisfied = True
+                            break
+                    if satisfied:
+                        continue
+                    if count == 0:
+                        return False
+                    if count == 1:
+                        if not assign(abs(live), 1 if live > 0 else 0):
+                            return False
+                        self.stats.propagations += 1
+                        changed = True
+            return True
+
+        def path_cost() -> int:
+            return sum(
+                cost for var, cost in self._costs.items()
+                if assignment.get(var) == 1
+            )
+
+        def all_satisfied() -> bool:
+            return all(_satisfied(clause, assignment) for clause in clauses)
+
+        def undo_to(mark: int) -> None:
+            while len(trail) > mark:
+                del assignment[trail.pop()]
+
+        def pick_branch() -> Optional[int]:
+            counts: Dict[int, int] = {}
+            for clause in clauses:
+                if _satisfied(clause, assignment):
+                    continue
+                for literal in clause:
+                    var = abs(literal)
+                    if var not in assignment:
+                        counts[var] = counts.get(var, 0) + 1
+            if not counts:
+                return None
+            # classical heuristic: the column covering the most rows
+            return max(sorted(counts), key=lambda var: counts[var])
+
+        # ---------------- main DFS ----------------
+        ok = propagate()
+        descending = ok
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                status = UNKNOWN
+                break
+            if self._max_nodes is not None and self.stats.decisions >= self._max_nodes:
+                status = UNKNOWN
+                break
+
+            prune = not descending
+            if descending:
+                cost = path_cost()
+                if cost >= upper:
+                    self.stats.prunings += 1
+                    prune = True
+                elif all_satisfied():
+                    solution = dict(assignment)
+                    for var in self._instance.variables():
+                        solution.setdefault(var, 0)
+                    upper = cost
+                    best = solution
+                    self.stats.solutions_found += 1
+                    prune = True
+                else:
+                    bound = self._mis.compute(assignment)
+                    self.stats.lower_bound_calls += 1
+                    if bound.infeasible or cost + bound.value >= upper:
+                        self.stats.prunings += 1
+                        prune = True
+
+            if not prune:
+                var = pick_branch()
+                if var is None:  # pragma: no cover - propagate() guarantees
+                    # an unassigned literal in every unsatisfied clause
+                    raise AssertionError("no branch variable at an open node")
+                self.stats.decisions += 1
+                mark = len(trail)
+                stack.append(_Frame(var, 0, mark))  # try 1 first, then 0
+                descending = assign(var, 1) and propagate()
+                continue
+
+            # backtrack chronologically
+            while stack:
+                frame = stack[-1]
+                undo_to(frame.trail_mark)
+                if frame.next_value is None:
+                    stack.pop()
+                    continue
+                value, frame.next_value = frame.next_value, None
+                descending = assign(frame.var, value) and propagate()
+                break
+            else:
+                break  # root exhausted
+
+        if status is None:
+            if best is not None:
+                status = (
+                    SATISFIABLE if self._instance.is_satisfaction else OPTIMAL
+                )
+            else:
+                status = UNSATISFIABLE
+        self.stats.elapsed = time.monotonic() - start
+        best_cost = (
+            upper + self._instance.objective.offset if best is not None else None
+        )
+        if status == SATISFIABLE:
+            best_cost = self._instance.objective.offset
+        return SolveResult(
+            status,
+            best_cost=best_cost,
+            best_assignment=best,
+            stats=self.stats,
+            solver_name=self.name,
+        )
+
+
+def _satisfied(clause: Set[int], assignment: Dict[int, int]) -> bool:
+    for literal in clause:
+        value = assignment.get(abs(literal))
+        if value is not None and (value == 1) == (literal > 0):
+            return True
+    return False
+
+
+def _is_false(literal: int, assignment: Dict[int, int]) -> bool:
+    value = assignment.get(abs(literal))
+    return value is not None and (value == 1) != (literal > 0)

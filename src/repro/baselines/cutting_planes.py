@@ -1,0 +1,108 @@
+"""Galena-style PB solver (paper reference [4], Chai & Kuehlmann).
+
+Galena improved on PBS by keeping the learning state across cost-bound
+tightenings and by learning stronger-than-clausal facts.  This
+reimplementation captures both distinguishing features:
+
+* a *single incremental* CDCL search — learned constraints survive each
+  new ``sum c_j x_j <= k - 1`` bound (no restart from scratch), and
+* *cardinality strengthening* of the objective cut: besides the knapsack
+  constraint, a cardinality bound ``at least r complement literals`` is
+  derived from it (the cardinality-reduction idea of Galena's learning,
+  applied to the strongest constraint we generate), which propagates much
+  earlier than the raw knapsack form.
+
+Still no lower bounding — in the paper's experiments Galena beats PBS but
+loses clearly to bsolo with LPR.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..core.cuts import CutGenerator
+from ..core.result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
+from ..core.stats import SolverStats
+from ..pb.instance import PBInstance
+from .sat_search import STOPPED, UNSAT, DecisionSearch
+
+
+# Galena's cardinality reduction lives with the cutting-plane machinery.
+from ..engine.pb_resolution import cardinality_reduction
+
+
+class CuttingPlanesSolver:
+    """Incremental linear search with cardinality strengthening."""
+
+    name = "galena-like"
+
+    def __init__(self, instance: PBInstance, time_limit: Optional[float] = None,
+                 max_conflicts: Optional[int] = None):
+        self._instance = instance
+        self._time_limit = time_limit
+        self._max_conflicts = max_conflicts
+        self.stats = SolverStats()
+
+    def solve(self) -> SolveResult:
+        start = time.monotonic()
+        deadline = start + self._time_limit if self._time_limit is not None else None
+        instance = self._instance
+        objective = instance.objective
+        cut_generator = CutGenerator(instance, cardinality_cuts=False)
+
+        search = DecisionSearch(instance.num_variables, pb_learning=True)
+        search.add_constraints(instance.constraints)
+
+        best_cost: Optional[int] = None
+        best_assignment: Optional[Dict[int, int]] = None
+        status = None
+        while True:
+            outcome, model = search.solve(
+                deadline=deadline, max_conflicts=self._max_conflicts
+            )
+            if outcome == STOPPED:
+                status = UNKNOWN
+                break
+            if outcome == UNSAT:
+                status = UNSATISFIABLE if best_assignment is None else OPTIMAL
+                break
+            cost = objective.path_cost(model)
+            self.stats.solutions_found += 1
+            best_cost = cost
+            best_assignment = model
+            if objective.is_constant:
+                status = SATISFIABLE
+                break
+            cut = cut_generator.knapsack_cut(cost)
+            if cut is None:
+                status = OPTIMAL
+                break
+            search.add_constraint(cut)
+            self.stats.cuts_added += 1
+            reduction = cardinality_reduction(cut)
+            if reduction is not None:
+                search.add_constraint(reduction)
+                self.stats.cuts_added += 1
+
+        self.stats.decisions = search.decisions
+        self.stats.logic_conflicts = search.conflicts
+        self.stats.elapsed = time.monotonic() - start
+        reported = (
+            best_cost + objective.offset if best_assignment is not None else None
+        )
+        if status == SATISFIABLE:
+            reported = objective.offset
+        return SolveResult(
+            status,
+            best_cost=reported,
+            best_assignment=best_assignment,
+            stats=self.stats,
+            solver_name=self.name,
+        )

@@ -1,0 +1,100 @@
+"""PBS-style SAT-based linear search on the cost function (paper [2, 3]).
+
+Barth's classic scheme, as used by PBS: solve the constraints as a pure
+PB-SAT problem; each time a model of cost ``k`` is found, add the
+constraint ``sum c_j x_j <= k - 1`` and *restart* the decision search
+from scratch; when the instance becomes unsatisfiable the last model is
+optimal.  No lower bounding is performed — the weakness the paper's
+experiments expose on optimization-heavy instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core.cuts import CutGenerator
+from ..core.result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
+from ..core.stats import SolverStats
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from .sat_search import STOPPED, UNSAT, DecisionSearch
+
+
+class LinearSearchSolver:
+    """SAT-based linear search (PBS-like comparator)."""
+
+    name = "pbs-like"
+
+    def __init__(self, instance: PBInstance, time_limit: Optional[float] = None,
+                 max_conflicts: Optional[int] = None):
+        self._instance = instance
+        self._time_limit = time_limit
+        self._max_conflicts = max_conflicts
+        self.stats = SolverStats()
+
+    def solve(self) -> SolveResult:
+        start = time.monotonic()
+        deadline = start + self._time_limit if self._time_limit is not None else None
+        instance = self._instance
+        objective = instance.objective
+        cut_generator = CutGenerator(instance, cardinality_cuts=False)
+
+        extra: List[Constraint] = []
+        best_cost: Optional[int] = None
+        best_assignment: Optional[Dict[int, int]] = None
+        status = None
+        while True:
+            # PBS restarts the SAT engine for every new cost bound.
+            search = DecisionSearch(instance.num_variables)
+            search.add_constraints(instance.constraints)
+            search.add_constraints(extra)
+            outcome, model = search.solve(
+                deadline=deadline, max_conflicts=self._max_conflicts
+            )
+            self.stats.decisions += search.decisions
+            self.stats.logic_conflicts += search.conflicts
+            if outcome == STOPPED:
+                status = UNKNOWN
+                break
+            if outcome == UNSAT:
+                if best_assignment is None:
+                    status = UNSATISFIABLE
+                else:
+                    status = OPTIMAL
+                break
+            # a model: record, tighten, iterate
+            cost = objective.path_cost(model)
+            self.stats.solutions_found += 1
+            best_cost = cost
+            best_assignment = model
+            if objective.is_constant:
+                status = SATISFIABLE
+                break
+            cut = cut_generator.knapsack_cut(cost)
+            if cut is None:
+                # cost 0 model: nothing can be cheaper
+                status = OPTIMAL
+                break
+            extra.append(cut)
+            self.stats.cuts_added += 1
+
+        self.stats.elapsed = time.monotonic() - start
+        reported = (
+            best_cost + objective.offset if best_assignment is not None else None
+        )
+        if status == SATISFIABLE:
+            reported = objective.offset
+        return SolveResult(
+            status,
+            best_cost=reported,
+            best_assignment=best_assignment,
+            stats=self.stats,
+            solver_name=self.name,
+        )

@@ -1,0 +1,131 @@
+"""Plain CDCL decision search over PB constraints.
+
+This is the common engine behind the SAT-based comparator solvers
+(PBS-like and Galena-like, paper reference [2] and [4]): boolean
+constraint propagation, first-UIP clause learning, VSIDS — but **no
+lower bounding**, which is exactly the gap the paper's bsolo fills.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..engine.activity import VSIDSActivity
+from ..engine.conflict import RootConflictError, analyze, highest_level
+from ..engine.pb_resolution import derive_resolvent
+from ..engine.propagation import Propagator
+from ..pb.constraints import Constraint
+
+SAT = "sat"
+UNSAT = "unsat"
+STOPPED = "stopped"
+
+
+class DecisionSearch:
+    """Incremental CDCL search for PB satisfiability.
+
+    With ``pb_learning`` the search additionally learns cutting-plane
+    resolvents (Galena's scheme) next to first-UIP clauses.
+    """
+
+    def __init__(self, num_variables: int, decay: float = 0.95,
+                 pb_learning: bool = False):
+        self._propagator = Propagator(num_variables)
+        self._activity = VSIDSActivity(num_variables, decay=decay)
+        self._root_conflict = False
+        self._pb_learning = pb_learning
+        self.conflicts = 0
+        self.decisions = 0
+        self.pb_resolvents = 0
+
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Add a constraint; the search state adapts incrementally."""
+        if constraint.is_tautology:
+            return
+        conflict = self._propagator.add_constraint(constraint)
+        if conflict is not None and not self._resolve(conflict.literals, constraint):
+            self._root_conflict = True
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        deadline: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+    ) -> Tuple[str, Optional[Dict[int, int]]]:
+        """Search for a model; resumable after more constraints arrive."""
+        if self._root_conflict:
+            return UNSAT, None
+        propagator = self._propagator
+        start_conflicts = self.conflicts
+        loop = 0
+        while True:
+            loop += 1
+            if deadline is not None and loop % 64 == 0 and time.monotonic() > deadline:
+                return STOPPED, None
+            if (
+                max_conflicts is not None
+                and self.conflicts - start_conflicts > max_conflicts
+            ):
+                return STOPPED, None
+
+            conflict = propagator.propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                source = conflict.stored.constraint if conflict.stored else None
+                if not self._resolve(conflict.literals, source):
+                    self._root_conflict = True
+                    return UNSAT, None
+                continue
+            if propagator.trail.all_assigned():
+                return SAT, propagator.model()
+            var = self._activity.best(propagator.trail.unassigned_variables())
+            self.decisions += 1
+            propagator.decide(-var)  # phase 0 default
+
+    # ------------------------------------------------------------------
+    def _resolve(self, literals, conflict_constraint: Optional[Constraint] = None) -> bool:
+        trail = self._propagator.trail
+        if not literals:
+            return False
+        level = highest_level(literals, trail)
+        if level == 0:
+            return False
+        if level < trail.decision_level:
+            self._propagator.backtrack(level)
+        try:
+            analysis = analyze(literals, trail)
+        except RootConflictError:
+            return False
+        resolvent = None
+        if self._pb_learning and conflict_constraint is not None:
+            resolvent = derive_resolvent(
+                conflict_constraint,
+                analysis.resolved_variables,
+                self._propagator.antecedent,
+            )
+        self._activity.bump_all(analysis.seen_variables)
+        self._activity.decay()
+        self._propagator.backtrack(analysis.backtrack_level)
+        learned = Constraint.clause(analysis.learned_literals)
+        conflict = self._propagator.add_constraint(learned, learned=True)
+        if conflict is not None:  # pragma: no cover - asserting clause
+            return self._resolve(conflict.literals)
+        if analysis.asserting_literal is not None:
+            self._propagator.imply(
+                analysis.asserting_literal, analysis.learned_literals
+            )
+        if resolvent is not None:
+            conflict = self._propagator.add_constraint(resolvent, learned=True)
+            self.pb_resolvents += 1
+            if conflict is not None:
+                return self._resolve(
+                    conflict.literals,
+                    conflict.stored.constraint if conflict.stored else None,
+                )
+        return True

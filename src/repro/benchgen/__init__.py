@@ -1,0 +1,38 @@
+"""Synthetic EDA benchmark generators mirroring Table 1's four families.
+
+The original benchmark files are not redistributable; these generators
+emit instances with the same constraint structure (see DESIGN.md section
+"Substitutions" for the fidelity argument):
+
+* :func:`generate_routing` / :func:`routing_suite` — grout-style global
+  routing ([2]);
+* :func:`generate_covering` / :func:`covering_suite` — MCNC-style (binate)
+  covering from logic minimization ([17]);
+* :func:`generate_ptl_mapping` / :func:`ptl_suite` — mixed PTL/CMOS
+  technology mapping ([18]);
+* :func:`generate_scheduling` / :func:`scheduling_suite` — tight PB-SAT
+  round-robin scheduling ([16], no cost function);
+* :func:`generate_random` / :func:`generate_planted` — fuzzing inputs.
+"""
+
+from .acc import generate_scheduling, scheduling_suite
+from .export import export_suite, export_table1_suite
+from .grout import generate_routing, routing_suite
+from .ptl import generate_ptl_mapping, ptl_suite
+from .random_pb import generate_planted, generate_random
+from .synthesis import covering_suite, generate_covering
+
+__all__ = [
+    "covering_suite",
+    "export_suite",
+    "export_table1_suite",
+    "generate_covering",
+    "generate_planted",
+    "generate_ptl_mapping",
+    "generate_random",
+    "generate_routing",
+    "generate_scheduling",
+    "ptl_suite",
+    "routing_suite",
+    "scheduling_suite",
+]

@@ -1,0 +1,135 @@
+"""Tight PB-satisfaction scheduling instances (the paper's [16] family).
+
+Walser's ``acc-tight`` benchmarks encode the ACC basketball scheduling
+problem as pure 0-1 satisfaction — **no cost function**, which is why
+Table 1's footnote notes that every bsolo variant behaves identically on
+them (no lower bounding happens without an objective).
+
+The generator builds single-round-robin scheduling feasibility:
+
+* ``n`` teams (even), ``n - 1`` rounds;
+* variable ``m_{i,j,t}``: teams ``i < j`` meet in round ``t``;
+* every pair meets exactly once; every team plays exactly once per round;
+* optional tightening: home/away balance via per-team, per-half
+  cardinality constraints on designated "home" meetings.
+
+These are tight (every constraint is an equality pair), mirroring the
+original family's character.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..pb.builder import PBModel
+from ..pb.instance import PBInstance
+
+
+def generate_scheduling(
+    teams: int = 6,
+    tighten: bool = True,
+    patterns: bool = False,
+    seed: int = 0,
+) -> PBInstance:
+    """Round-robin scheduling feasibility as a PB-SAT instance.
+
+    With ``patterns`` the ACC-style home/away structure is added: every
+    match designates exactly one home team, per-team home counts are
+    balanced, and no team sits through three consecutive away rounds (or
+    three consecutive home rounds) — the constraints that made the
+    original acc-tight family tight.
+    """
+    if teams < 4 or teams % 2:
+        raise ValueError("teams must be an even number >= 4")
+    rng = random.Random(seed)
+    rounds = teams - 1
+    model = PBModel()
+
+    meet: Dict[Tuple[int, int, int], int] = {}
+    for i in range(teams):
+        for j in range(i + 1, teams):
+            for t in range(rounds):
+                meet[(i, j, t)] = model.new_variable("m_%d_%d_r%d" % (i, j, t))
+
+    # every pair meets exactly once
+    for i in range(teams):
+        for j in range(i + 1, teams):
+            model.add_exactly([meet[(i, j, t)] for t in range(rounds)], 1)
+
+    # every team plays exactly one game per round
+    for t in range(rounds):
+        for i in range(teams):
+            games = [
+                meet[(min(i, j), max(i, j), t)] for j in range(teams) if j != i
+            ]
+            model.add_exactly(games, 1)
+
+    if patterns:
+        _add_home_away_patterns(model, meet, teams, rounds)
+
+    if tighten:
+        # pin a few matches taken from an actual circle-method schedule
+        # (mimics the fixed TV slots of the ACC instances and removes
+        # symmetric freedom without breaking satisfiability)
+        schedule = _circle_schedule(teams)
+        pins = min(2, rounds)
+        pinned_rounds = rng.sample(range(rounds), pins)
+        for t in pinned_rounds:
+            i, j = rng.choice(schedule[t])
+            model.add_clause([meet[(i, j, t)]])
+
+    return model.build()
+
+
+def _add_home_away_patterns(
+    model: PBModel,
+    meet: Dict[Tuple[int, int, int], int],
+    teams: int,
+    rounds: int,
+) -> None:
+    """ACC-style home/away structure over ``h_{team, round}`` variables."""
+    home: Dict[Tuple[int, int], int] = {}
+    for team in range(teams):
+        for round_index in range(rounds):
+            home[(team, round_index)] = model.new_variable(
+                "h_%d_r%d" % (team, round_index)
+            )
+
+    # a match has exactly one home side: m -> (h_i XOR h_j)
+    for (i, j, t), match in meet.items():
+        model.add_clause([-match, home[(i, t)], home[(j, t)]])
+        model.add_clause([-match, -home[(i, t)], -home[(j, t)]])
+
+    for team in range(teams):
+        per_round = [home[(team, t)] for t in range(rounds)]
+        # balanced home count: floor(r/2) <= #home <= ceil(r/2)
+        model.add_at_least(per_round, rounds // 2)
+        model.add_at_most(per_round, (rounds + 1) // 2)
+        # no three consecutive home rounds / away rounds
+        for t in range(rounds - 2):
+            window = per_round[t : t + 3]
+            model.add_at_most(window, 2)
+            model.add_at_least(window, 1)
+
+
+def _circle_schedule(teams: int) -> List[List[Tuple[int, int]]]:
+    """A valid single round robin via the classic circle method."""
+    n = teams
+    rounds: List[List[Tuple[int, int]]] = []
+    ring = list(range(n - 1))
+    for t in range(n - 1):
+        matches = [(min(ring[0], n - 1), max(ring[0], n - 1))]
+        for k in range(1, n // 2):
+            a, b = ring[k], ring[-k]
+            matches.append((min(a, b), max(a, b)))
+        rounds.append(matches)
+        ring = [ring[-1]] + ring[:-1]
+    return rounds
+
+
+def scheduling_suite(count: int = 10, seed: int = 1997, **kwargs) -> List[PBInstance]:
+    """A seeded family mirroring acc-tight:0..9."""
+    return [
+        generate_scheduling(seed=seed + index, **kwargs) for index in range(count)
+    ]

@@ -1,0 +1,66 @@
+"""Export generated benchmark suites as OPB files.
+
+Writes the four Table 1 families to a directory tree mirroring the
+paper's benchmark sets, so the ``bsolo`` CLI (or any OPB-speaking
+solver) can be run on them directly::
+
+    instances/
+      grout/grout-1.opb ... grout/grout-N.opb
+      ptl/ptl-1.opb ...
+      mcnc/mcnc-1.opb ...
+      acc/acc-1.opb ...
+      MANIFEST.txt
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from ..pb.instance import PBInstance
+from ..pb.opb import write_file
+
+
+def export_suite(
+    directory: str,
+    families: Dict[str, Tuple[Sequence[PBInstance], Sequence[str]]],
+) -> List[str]:
+    """Write ``{family: (instances, labels)}`` under ``directory``.
+
+    Returns the list of files written (relative paths).  A MANIFEST.txt
+    records per-instance statistics.
+    """
+    written: List[str] = []
+    manifest_lines: List[str] = []
+    for family, (instances, labels) in families.items():
+        family_dir = os.path.join(directory, family)
+        os.makedirs(family_dir, exist_ok=True)
+        for instance, label in zip(instances, labels):
+            relative = os.path.join(family, "%s.opb" % label)
+            write_file(instance, os.path.join(directory, relative))
+            written.append(relative)
+            stats = instance.statistics()
+            manifest_lines.append(
+                "%s  vars=%d constraints=%d costed=%d"
+                % (
+                    relative,
+                    stats["variables"],
+                    stats["constraints"],
+                    stats["costed_variables"],
+                )
+            )
+    manifest_path = os.path.join(directory, "MANIFEST.txt")
+    with open(manifest_path, "w") as handle:
+        handle.write("\n".join(manifest_lines) + "\n")
+    return written
+
+
+def export_table1_suite(directory: str, count: int = 5, scale: float = 1.0) -> List[str]:
+    """Export the exact instance suite used by the Table 1 harness."""
+    from ..experiments.table1 import FAMILIES, family_instances
+
+    families = {
+        family: family_instances(family, count=count, scale=scale)
+        for family in FAMILIES
+    }
+    return export_suite(directory, families)

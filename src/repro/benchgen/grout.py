@@ -1,0 +1,164 @@
+"""Global-routing instance generator (the paper's "grout" family, [2]).
+
+The grout-4-3-* benchmarks used by Aloul et al. encode global routing on
+a grid: every net picks one of its candidate routes, channel capacities
+bound how many routes may share a grid edge, and the objective minimizes
+total routed wirelength.  This generator reproduces that structure:
+
+* an ``R x C`` grid graph of channels, each with capacity ``cap``;
+* ``K`` nets with random terminal pairs; candidate routes per net are the
+  two L-shaped paths plus a few Z-shaped detours;
+* variables ``x_{n,p}``: net ``n`` uses route ``p`` (exactly-one per
+  net); per-edge capacity constraints ``sum x <= cap`` over the routes
+  crossing the edge; cost of a route = its length.
+
+Congestion (many nets, low capacity) forces detours, which is what makes
+the cost function informative — the regime where the paper shows lower
+bounding pays off.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..pb.builder import PBModel
+from ..pb.instance import PBInstance
+
+#: A grid cell.
+Cell = Tuple[int, int]
+#: An undirected grid edge (ordered pair of adjacent cells).
+Edge = Tuple[Cell, Cell]
+
+
+def _edge(a: Cell, b: Cell) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+def _straight(a: Cell, b: Cell) -> List[Edge]:
+    """Edges of the axis-aligned segment from a to b (same row or col)."""
+    (r1, c1), (r2, c2) = a, b
+    edges: List[Edge] = []
+    if r1 == r2:
+        step = 1 if c2 > c1 else -1
+        for c in range(c1, c2, step):
+            edges.append(_edge((r1, c), (r1, c + step)))
+    elif c1 == c2:
+        step = 1 if r2 > r1 else -1
+        for r in range(r1, r2, step):
+            edges.append(_edge((r, c1), (r + step, c1)))
+    else:  # pragma: no cover - callers pass aligned cells
+        raise ValueError("cells are not aligned")
+    return edges
+
+
+def _l_paths(source: Cell, target: Cell) -> List[List[Edge]]:
+    """The two L-shaped routes (or the single straight one)."""
+    (r1, c1), (r2, c2) = source, target
+    if r1 == r2 or c1 == c2:
+        return [_straight(source, target)]
+    via_first = _straight(source, (r1, c2)) + _straight((r1, c2), target)
+    via_second = _straight(source, (r2, c1)) + _straight((r2, c1), target)
+    return [via_first, via_second]
+
+
+def _z_paths(source: Cell, target: Cell, rows: int, cols: int, rng: random.Random,
+             count: int) -> List[List[Edge]]:
+    """Detour routes through a random intermediate row/column."""
+    (r1, c1), (r2, c2) = source, target
+    paths: List[List[Edge]] = []
+    for _ in range(count):
+        if rng.random() < 0.5 and rows > 1:
+            mid_r = rng.randrange(rows)
+            path = (
+                _straight(source, (mid_r, c1))
+                + _straight((mid_r, c1), (mid_r, c2))
+                + _straight((mid_r, c2), target)
+            )
+        elif cols > 1:
+            mid_c = rng.randrange(cols)
+            path = (
+                _straight(source, (r1, mid_c))
+                + _straight((r1, mid_c), (r2, mid_c))
+                + _straight((r2, mid_c), target)
+            )
+        else:
+            continue
+        if path:
+            paths.append(path)
+    return paths
+
+
+def generate_routing(
+    rows: int = 4,
+    cols: int = 4,
+    nets: int = 6,
+    capacity: int = 2,
+    detours: int = 2,
+    congested: bool = False,
+    seed: int = 0,
+) -> PBInstance:
+    """Build a grout-style routing PBO instance.
+
+    Deterministic under ``seed``.  Minimizes total wirelength.  With
+    ``congested`` every net runs from the left edge region to the right
+    edge region, so all routes compete for the vertical cut in the middle
+    of the grid — reliably producing the congestion that forces detours
+    (random endpoints often leave the grid uncontended).  Capacity can
+    still make extreme configurations infeasible, which is a legitimate
+    instance too.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid must be at least 2x2")
+    if nets < 1:
+        raise ValueError("need at least one net")
+    rng = random.Random(seed)
+    model = PBModel()
+
+    edge_users: Dict[Edge, List[int]] = {}
+    cost_terms: List[Tuple[int, int]] = []
+    for net in range(nets):
+        while True:
+            if congested:
+                source = (rng.randrange(rows), rng.randrange(max(1, cols // 3)))
+                target = (
+                    rng.randrange(rows),
+                    cols - 1 - rng.randrange(max(1, cols // 3)),
+                )
+            else:
+                source = (rng.randrange(rows), rng.randrange(cols))
+                target = (rng.randrange(rows), rng.randrange(cols))
+            if source != target:
+                break
+        candidates = _l_paths(source, target)
+        candidates.extend(_z_paths(source, target, rows, cols, rng, detours))
+        # dedupe identical edge sets
+        unique: List[List[Edge]] = []
+        seen = set()
+        for path in candidates:
+            key = frozenset(path)
+            if key not in seen:
+                seen.add(key)
+                unique.append(path)
+        selectors = []
+        for index, path in enumerate(unique):
+            var = model.new_variable("n%d_p%d" % (net, index))
+            selectors.append(var)
+            cost_terms.append((len(path), var))
+            for edge in path:
+                edge_users.setdefault(edge, []).append(var)
+        model.add_exactly(selectors, 1)
+
+    for edge, users in sorted(edge_users.items()):
+        if len(users) > capacity:
+            model.add_at_most(users, capacity)
+
+    model.minimize(cost_terms)
+    return model.build()
+
+
+def routing_suite(count: int = 10, seed: int = 2005, **kwargs) -> List[PBInstance]:
+    """A seeded family mirroring grout-4-3-1..10."""
+    return [
+        generate_routing(seed=seed + index, **kwargs) for index in range(count)
+    ]

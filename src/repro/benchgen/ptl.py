@@ -1,0 +1,85 @@
+"""Mixed PTL/CMOS synthesis instances (the paper's [18] family).
+
+Zhu's benchmarks (9symml, C432, my_adder, ...) encode technology mapping
+for mixed pass-transistor-logic / static CMOS circuits: every circuit
+node is implemented in exactly one style, PTL cells are smaller but long
+PTL chains degrade and need buffer insertion, and the objective minimizes
+total area — which is why the optimal costs in Table 1 are large area
+numbers (4517, 1194, ...).
+
+Model per node ``i`` of a random DAG:
+
+* ``ptl_i`` / ``cmos_i`` with ``ptl_i + cmos_i = 1``;
+* per wire ``i -> j``: a PTL-to-PTL connection needs a buffer:
+  ``~ptl_i \\/ ~ptl_j \\/ buf_ij`` (buffer pays area too);
+* per node with large fanin: PTL is not available (clause ``cmos_i``);
+* minimize ``sum area_cmos(i) cmos_i + area_ptl(i) ptl_i + area_buf buf_ij``.
+
+Costs are in area units (tens to hundreds), matching the magnitude of the
+original family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..pb.builder import PBModel
+from ..pb.instance import PBInstance
+
+
+def generate_ptl_mapping(
+    nodes: int = 12,
+    extra_edges: int = 6,
+    cmos_area_range: Tuple[int, int] = (80, 220),
+    ptl_area_range: Tuple[int, int] = (30, 120),
+    buffer_area: int = 40,
+    forced_cmos_fraction: float = 0.15,
+    seed: int = 0,
+) -> PBInstance:
+    """Build a PTL/CMOS mapping PBO instance (always satisfiable:
+    all-CMOS is a feasible mapping)."""
+    if nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    model = PBModel()
+
+    ptl = [model.new_variable("ptl%d" % i) for i in range(nodes)]
+    cmos = [model.new_variable("cmos%d" % i) for i in range(nodes)]
+    cost_terms: List[Tuple[int, int]] = []
+    for i in range(nodes):
+        model.add_exactly([ptl[i], cmos[i]], 1)
+        cmos_area = rng.randint(*cmos_area_range)
+        ptl_area = rng.randint(*ptl_area_range)
+        if ptl_area >= cmos_area:
+            ptl_area = max(1, cmos_area - 10)
+        cost_terms.append((cmos_area, cmos[i]))
+        cost_terms.append((ptl_area, ptl[i]))
+
+    # a connected random DAG: each node i >= 1 has an edge from some j < i
+    edges = set()
+    for i in range(1, nodes):
+        edges.add((rng.randrange(i), i))
+    for _ in range(extra_edges):
+        j = rng.randrange(1, nodes)
+        i = rng.randrange(j)
+        edges.add((i, j))
+
+    for i, j in sorted(edges):
+        buffer = model.new_variable("buf_%d_%d" % (i, j))
+        model.add_clause([-ptl[i], -ptl[j], buffer])
+        cost_terms.append((buffer_area, buffer))
+
+    for i in range(nodes):
+        if rng.random() < forced_cmos_fraction:
+            model.add_clause([cmos[i]])
+
+    model.minimize(cost_terms)
+    return model.build()
+
+
+def ptl_suite(count: int = 10, seed: int = 432, **kwargs) -> List[PBInstance]:
+    """A seeded family mirroring the [18] rows of Table 1."""
+    return [
+        generate_ptl_mapping(seed=seed + index, **kwargs) for index in range(count)
+    ]

@@ -1,0 +1,97 @@
+"""Random PB instances for fuzzing and property tests.
+
+Two flavours: fully random (may be unsatisfiable), and *planted* (a
+random assignment is drawn first and every generated constraint is made
+to satisfy it, guaranteeing satisfiability).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from ..pb.objective import Objective
+
+
+def generate_random(
+    num_variables: int = 8,
+    num_constraints: int = 10,
+    max_arity: int = 4,
+    max_coefficient: int = 4,
+    max_cost: int = 6,
+    negation_probability: float = 0.4,
+    satisfaction_only: bool = False,
+    seed: int = 0,
+) -> PBInstance:
+    """A fully random PB instance (deterministic under ``seed``)."""
+    rng = random.Random(seed)
+    constraints: List[Constraint] = []
+    while len(constraints) < num_constraints:
+        arity = rng.randint(1, min(max_arity, num_variables))
+        variables = rng.sample(range(1, num_variables + 1), arity)
+        terms = [
+            (
+                rng.randint(1, max_coefficient),
+                var if rng.random() >= negation_probability else -var,
+            )
+            for var in variables
+        ]
+        total = sum(coef for coef, _ in terms)
+        rhs = rng.randint(1, total)
+        constraint = Constraint.greater_equal(terms, rhs)
+        if constraint.is_tautology or constraint.is_unsatisfiable:
+            continue
+        constraints.append(constraint)
+    objective = (
+        Objective({})
+        if satisfaction_only
+        else Objective(
+            {var: rng.randint(0, max_cost) for var in range(1, num_variables + 1)}
+        )
+    )
+    return PBInstance(constraints, objective, num_variables=num_variables)
+
+
+def generate_planted(
+    num_variables: int = 8,
+    num_constraints: int = 10,
+    max_arity: int = 4,
+    max_coefficient: int = 4,
+    max_cost: int = 6,
+    seed: int = 0,
+) -> Tuple[PBInstance, Dict[int, int]]:
+    """A satisfiable instance plus the planted witness assignment."""
+    rng = random.Random(seed)
+    witness = {var: rng.randint(0, 1) for var in range(1, num_variables + 1)}
+    constraints: List[Constraint] = []
+    while len(constraints) < num_constraints:
+        arity = rng.randint(1, min(max_arity, num_variables))
+        variables = rng.sample(range(1, num_variables + 1), arity)
+        terms = []
+        true_supply = 0
+        for var in variables:
+            coef = rng.randint(1, max_coefficient)
+            # bias literal polarities toward the witness so rhs > 0 works
+            if rng.random() < 0.7:
+                lit = var if witness[var] == 1 else -var
+            else:
+                lit = -var if witness[var] == 1 else var
+            if (witness[var] == 1) == (lit > 0):
+                true_supply += coef
+            terms.append((coef, lit))
+        if true_supply == 0:
+            continue
+        rhs = rng.randint(1, true_supply)
+        constraint = Constraint.greater_equal(terms, rhs)
+        if constraint.is_tautology or constraint.is_unsatisfiable:
+            continue
+        if not constraint.is_satisfied_by(witness):  # pragma: no cover
+            continue
+        constraints.append(constraint)
+    objective = Objective(
+        {var: rng.randint(0, max_cost) for var in range(1, num_variables + 1)}
+    )
+    instance = PBInstance(constraints, objective, num_variables=num_variables)
+    return instance, witness

@@ -1,0 +1,102 @@
+"""Logic-minimization covering instances (the paper's MCNC family, [17]).
+
+The ``5xp1.b`` / ``9sym.b`` / ... benchmarks are (mostly unate) covering
+problems from two-level logic minimization: every minterm of the target
+function must be covered by at least one selected implicant, and the
+total implicant cost (literal count) is minimized.  The ``.b`` variants
+are *binate*: selecting some implicants excludes or requires others.
+
+The generator builds a random coverage matrix with planted feasibility
+(every minterm receives at least one candidate implicant), costs equal to
+implicant sizes, and optional binate structure (mutual-exclusion and
+implication clauses between overlapping implicants).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..pb.builder import PBModel
+from ..pb.instance import PBInstance
+
+
+def generate_covering(
+    minterms: int = 20,
+    implicants: int = 14,
+    density: float = 0.25,
+    max_cost: int = 8,
+    binate: bool = True,
+    exclusion_pairs: int = 3,
+    implication_pairs: int = 2,
+    seed: int = 0,
+) -> PBInstance:
+    """Build a (binate) covering PBO instance.
+
+    Every minterm is guaranteed at least one covering implicant; binate
+    clauses are added so the overall instance stays satisfiable (the
+    all-ones selection satisfies implications, and exclusions are only
+    added between implicants with individual alternatives).
+    """
+    if minterms < 1 or implicants < 2:
+        raise ValueError("need at least one minterm and two implicants")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = random.Random(seed)
+    model = PBModel()
+    selectors = [model.new_variable("imp%d" % i) for i in range(implicants)]
+    costs = [rng.randint(1, max_cost) for _ in range(implicants)]
+
+    covers: List[List[int]] = [[] for _ in range(minterms)]
+    for row in range(minterms):
+        for col in range(implicants):
+            if rng.random() < density:
+                covers[row].append(col)
+        if not covers[row]:
+            covers[row].append(rng.randrange(implicants))
+        # guarantee an alternative so binate exclusions cannot wipe a row
+        if len(covers[row]) == 1:
+            other = rng.randrange(implicants)
+            if other != covers[row][0]:
+                covers[row].append(other)
+    for row in range(minterms):
+        model.add_clause([selectors[col] for col in covers[row]])
+
+    if binate:
+        # mutual exclusions between implicants that both have alternatives
+        # in every row they cover
+        safe = _implicants_with_alternatives(covers, implicants)
+        rng.shuffle(safe)
+        added = 0
+        for index in range(len(safe) - 1):
+            if added >= exclusion_pairs:
+                break
+            a, b = safe[index], safe[index + 1]
+            if a != b:
+                model.add_clause([-selectors[a], -selectors[b]])
+                added += 1
+        # implications: choosing a forces its "companion" b
+        for _ in range(implication_pairs):
+            a, b = rng.sample(range(implicants), 2)
+            model.add_clause([-selectors[a], selectors[b]])
+
+    model.minimize(
+        [(costs[i], selectors[i]) for i in range(implicants)]
+    )
+    return model.build()
+
+
+def _implicants_with_alternatives(covers: List[List[int]], implicants: int) -> List[int]:
+    """Implicants that are never the sole cover of any minterm."""
+    sole = set()
+    for row in covers:
+        if len(row) == 1:
+            sole.add(row[0])
+    return [i for i in range(implicants) if i not in sole]
+
+
+def covering_suite(count: int = 10, seed: int = 1991, **kwargs) -> List[PBInstance]:
+    """A seeded family mirroring the MCNC rows of Table 1."""
+    return [
+        generate_covering(seed=seed + index, **kwargs) for index in range(count)
+    ]

@@ -1,0 +1,76 @@
+"""Command-line interface: ``bsolo [options] instance.opb``.
+
+Solves an OPB file with any registered solver configuration and prints a
+result summary.  Mirrors the way the original bsolo prototype was driven
+in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.runner import SOLVER_NAMES, run_one
+from .pb.opb import parse_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bsolo",
+        description=(
+            "Pseudo-boolean optimizer with lower bounding "
+            "(reproduction of Manquinho & Marques-Silva, DATE 2005)"
+        ),
+    )
+    parser.add_argument("instance", help="path to an .opb file")
+    parser.add_argument(
+        "--solver",
+        default="bsolo-lpr",
+        choices=SOLVER_NAMES,
+        help="solver configuration (default: bsolo-lpr)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print search statistics",
+    )
+    parser.add_argument(
+        "--model",
+        action="store_true",
+        help="print the best assignment as a literal list",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    instance = parse_file(args.instance)
+    record = run_one(args.solver, instance, args.instance, args.time_limit)
+    result = record.result
+
+    print("s %s" % result.status.upper())
+    if result.best_cost is not None:
+        print("o %d" % result.best_cost)
+    if args.model and result.best_assignment:
+        literals = [
+            ("x%d" % var) if value else ("-x%d" % var)
+            for var, value in sorted(result.best_assignment.items())
+        ]
+        print("v " + " ".join(literals))
+    print("c time %.3fs" % record.seconds)
+    if args.stats:
+        for key, value in sorted(result.stats.as_dict().items()):
+            print("c %s %s" % (key, value))
+    return 0 if result.solved else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Constraint generation from improved solutions (paper Section 5).
+
+Two families of cuts are added whenever a better solution (upper bound
+``ub``) is found:
+
+* the *knapsack constraint* (eq. 10)::
+
+      sum_j c_j x_j <= ub - 1
+
+  which forces every later solution to improve on the incumbent, and
+
+* *cardinality-derived* constraints (eq. 11-13): for each cardinality
+  constraint ``sum_{j in K} x_j >= U`` over positive literals, any
+  solution pays at least ``V`` = the sum of the ``U`` smallest costs in
+  ``K``, hence::
+
+      sum_{j in N-K} c_j x_j <= ub - 1 - V
+
+A cut whose right-hand side is negative proves that no better solution
+exists at all — the caller can declare the incumbent optimal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+
+
+class CutGenerator:
+    """Produces eq. 10 / eq. 13 cuts for a given instance."""
+
+    def __init__(self, instance: PBInstance, cardinality_cuts: bool = True):
+        self._objective = instance.objective
+        self._cardinality_cuts = cardinality_cuts
+        # Pre-extract the cardinality constraints usable by eq. 11: all
+        # literals positive (the "smallest costs" argument needs x_j = 1
+        # to be what pays).
+        self._cardinalities: List[Tuple[Tuple[int, ...], int]] = []
+        if cardinality_cuts:
+            for constraint in instance.constraints:
+                if not constraint.is_cardinality:
+                    continue
+                if any(lit < 0 for lit in constraint.literals):
+                    continue
+                threshold = constraint.cardinality_threshold
+                if threshold >= 1:
+                    self._cardinalities.append((constraint.literals, threshold))
+
+    # ------------------------------------------------------------------
+    def knapsack_cut(self, upper: int) -> Optional[Constraint]:
+        """Eq. 10: require cost at most ``upper - 1`` (path-cost scale,
+        i.e. excluding the objective offset)."""
+        costs = self._objective.costs
+        if not costs:
+            return None
+        terms = [(cost, var) for var, cost in costs.items()]
+        cut = Constraint.less_equal(terms, upper - 1)
+        if cut.is_tautology:
+            return None
+        return cut
+
+    def cardinality_cuts(self, upper: int) -> Tuple[List[Constraint], bool]:
+        """Eq. 13 cuts for the new ``upper``.
+
+        Returns ``(cuts, optimum_proven)``; the flag is True when some
+        cut's rhs went negative (eq. 12's ``V`` alone reaches the bound).
+        """
+        cuts: List[Constraint] = []
+        if not self._cardinality_cuts:
+            return cuts, False
+        costs = self._objective.costs
+        if not costs:
+            return cuts, False
+        for members, threshold in self._cardinalities:
+            member_costs = sorted(costs.get(var, 0) for var in members)
+            value_v = sum(member_costs[:threshold])
+            if value_v <= 0:
+                continue  # eq. 12 gives nothing
+            budget = upper - 1 - value_v
+            member_set = set(members)
+            outside = [
+                (cost, var)
+                for var, cost in costs.items()
+                if var not in member_set
+            ]
+            if budget < 0:
+                return cuts, True
+            if not outside:
+                continue
+            total_outside = sum(cost for cost, _ in outside)
+            if total_outside <= budget:
+                continue  # tautology
+            cuts.append(Constraint.less_equal(outside, budget))
+        return cuts, False
+
+    def cuts_for(self, upper: int) -> Tuple[List[Constraint], bool]:
+        """All cuts triggered by a solution of cost ``upper``."""
+        cuts: List[Constraint] = []
+        knapsack = self.knapsack_cut(upper)
+        if knapsack is not None:
+            cuts.append(knapsack)
+        card_cuts, proven = self.cardinality_cuts(upper)
+        cuts.extend(card_cuts)
+        return cuts, proven

@@ -1,0 +1,132 @@
+"""Configuration for the bsolo solver.
+
+The option set mirrors the paper's experimental matrix: the lower bound
+method is one of ``plain`` (none), ``mis``, ``lgr``, ``lpr`` (Table 1
+columns), and the additional techniques of Sections 4-5 can be toggled
+individually for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Lower bound method names (Table 1 column labels).
+PLAIN = "plain"
+MIS = "mis"
+LGR = "lgr"
+LPR = "lpr"
+#: Extension: cheap MIS pre-filter, LP relaxation only when it fails.
+HYBRID = "hybrid"
+
+_METHODS = (PLAIN, MIS, LGR, LPR, HYBRID)
+
+
+class SolverOptions:
+    """All tunables of :class:`~repro.core.solver.BsoloSolver`."""
+
+    def __init__(
+        self,
+        lower_bound: str = LPR,
+        lb_frequency: int = 1,
+        bound_conflict_learning: bool = True,
+        upper_bound_cuts: bool = True,
+        cardinality_cuts: bool = True,
+        lp_guided_branching: bool = True,
+        lgr_alpha_refinement: bool = True,
+        preprocess: bool = True,
+        probing_implications: int = 0,
+        covering_reductions: bool = True,
+        restarts: bool = False,
+        restart_interval: int = 100,
+        phase_saving: bool = False,
+        pb_learning: bool = False,
+        on_new_solution=None,
+        time_limit: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_decisions: Optional[int] = None,
+        vsids_decay: float = 0.95,
+        lgr_iterations: int = 60,
+        lp_max_iterations: int = 3000,
+        max_learned: Optional[int] = 20000,
+    ):
+        if lower_bound not in _METHODS:
+            raise ValueError(
+                "lower_bound must be one of %s, got %r" % (_METHODS, lower_bound)
+            )
+        if lb_frequency < 1:
+            raise ValueError("lb_frequency must be >= 1")
+        #: Which lower bound estimation procedure to run (Section 3).
+        self.lower_bound = lower_bound
+        #: Estimate the bound every k-th decision node (1 = every node).
+        self.lb_frequency = lb_frequency
+        #: Learn w_bc and backtrack non-chronologically on bound conflicts
+        #: (Section 4).  When False, bound conflicts backtrack
+        #: chronologically over the full decision path (the
+        #: "straightforward approach" of Section 4.1).
+        self.bound_conflict_learning = bound_conflict_learning
+        #: Add the knapsack constraint (eq. 10) on each improved solution.
+        self.upper_bound_cuts = upper_bound_cuts
+        #: Infer constraints from cardinality constraints (eq. 11-13).
+        self.cardinality_cuts = cardinality_cuts
+        #: Branch on the most fractional LP variable, VSIDS ties
+        #: (Section 5); only effective with lower_bound == "lpr".
+        self.lp_guided_branching = lp_guided_branching
+        #: Apply the Section 4.3 alpha_j refinement to Lagrangian
+        #: explanations.
+        self.lgr_alpha_refinement = lgr_alpha_refinement
+        #: Probing for necessary assignments before search (Section 6).
+        self.preprocess = preprocess
+        #: Binary implication clauses collected while probing (the
+        #: Savelsbergh/[6] constraint-strengthening flavour); 0 disables.
+        self.probing_implications = probing_implications
+        #: Covering-matrix reductions (essentiality, subsumption,
+        #: dominance — paper refs [5, 7, 15]) applied when the instance
+        #: is clause-only.
+        self.covering_reductions = covering_reductions
+        #: Luby restarts (post-paper extension; learned clauses and the
+        #: incumbent survive a restart, so completeness is unaffected).
+        self.restarts = restarts
+        self.restart_interval = restart_interval
+        #: Branch toward the variable's previous value instead of 0.
+        self.phase_saving = phase_saving
+        #: Learn cutting-plane resolvents alongside first-UIP clauses
+        #: (Galena-style PB learning; post-paper extension).
+        self.pb_learning = pb_learning
+        #: Progress callback ``(cost, assignment) -> None`` invoked on
+        #: every improving solution (cost includes the objective offset).
+        self.on_new_solution = on_new_solution
+        #: Wall-clock budget in seconds (None = unlimited).
+        self.time_limit = time_limit
+        #: Conflict budget (None = unlimited).
+        self.max_conflicts = max_conflicts
+        #: Decision budget (None = unlimited).
+        self.max_decisions = max_decisions
+        self.vsids_decay = vsids_decay
+        #: Subgradient iterations per Lagrangian bound call.
+        self.lgr_iterations = lgr_iterations
+        #: Simplex iteration cap per LP call.
+        self.lp_max_iterations = lp_max_iterations
+        #: Learned-clause cap; above it the oldest long clauses are
+        #: forgotten (None = keep everything).
+        self.max_learned = max_learned
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def plain(cls, **kwargs) -> "SolverOptions":
+        """bsolo with no lower bounding (Table 1 column "plain")."""
+        return cls(lower_bound=PLAIN, **kwargs)
+
+    @classmethod
+    def with_mis(cls, **kwargs) -> "SolverOptions":
+        return cls(lower_bound=MIS, **kwargs)
+
+    @classmethod
+    def with_lgr(cls, **kwargs) -> "SolverOptions":
+        return cls(lower_bound=LGR, **kwargs)
+
+    @classmethod
+    def with_lpr(cls, **kwargs) -> "SolverOptions":
+        return cls(lower_bound=LPR, **kwargs)
+
+    def __repr__(self) -> str:
+        return "SolverOptions(lower_bound=%r)" % self.lower_bound

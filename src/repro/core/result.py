@@ -1,0 +1,60 @@
+"""Solve outcomes."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .stats import SolverStats
+
+#: The search proved the reported solution optimal.
+OPTIMAL = "optimal"
+#: Pure satisfaction instance: a model was found.
+SATISFIABLE = "satisfiable"
+#: No solution exists.
+UNSATISFIABLE = "unsatisfiable"
+#: A budget (time/conflicts/decisions) expired; ``best_cost`` is the
+#: incumbent upper bound, the paper's "ub N" table entries.
+UNKNOWN = "unknown"
+
+
+class SolveResult:
+    """Result of a PBO solve."""
+
+    __slots__ = ("status", "best_cost", "best_assignment", "stats", "solver_name")
+
+    def __init__(
+        self,
+        status: str,
+        best_cost: Optional[int] = None,
+        best_assignment: Optional[Dict[int, int]] = None,
+        stats: Optional[SolverStats] = None,
+        solver_name: str = "",
+    ):
+        self.status = status
+        #: Objective value of the best solution found (offset included);
+        #: None when no solution was found.
+        self.best_cost = best_cost
+        self.best_assignment = best_assignment
+        self.stats = stats or SolverStats()
+        self.solver_name = solver_name
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+    @property
+    def solved(self) -> bool:
+        """Did the run finish conclusively (paper's "#Solved" row)."""
+        return self.status in (OPTIMAL, SATISFIABLE, UNSATISFIABLE)
+
+    def table_entry(self) -> str:
+        """Render like Table 1: a time is printed by the harness for
+        solved runs; unsolved optimization runs show "ub N"."""
+        if self.solved:
+            return self.status
+        if self.best_cost is not None:
+            return "ub %d" % self.best_cost
+        return "time"
+
+    def __repr__(self) -> str:
+        return "SolveResult(%s, best_cost=%r)" % (self.status, self.best_cost)

@@ -1,0 +1,480 @@
+"""bsolo: hybrid branch-and-bound / SAT-based PBO solver (the paper's tool).
+
+The search is a conflict-driven DPLL over pseudo-boolean constraints
+(boolean constraint propagation, first-UIP learning, non-chronological
+backtracking) extended with branch-and-bound pruning:
+
+* every complete assignment updates the incumbent ``P.upper`` and
+  triggers the Section 5 cuts (knapsack eq. 10, cardinality eq. 11-13);
+* at each node a lower bound ``P.lower`` is estimated (MIS / Lagrangian
+  relaxation / LP relaxation, Section 3) and the node is pruned when
+  ``P.path + P.lower >= P.upper`` (eq. 7);
+* pruning learns the bound-conflict clause ``w_bc`` (Section 4) and
+  backtracks non-chronologically through the ordinary conflict-analysis
+  machinery;
+* with LPR the fractional LP solution guides branching (Section 5).
+
+The optimum is proven when the search exhausts (a conflict that does not
+depend on any decision).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..covering.reductions import reduce_covering
+from ..engine.activity import VSIDSActivity
+from ..engine.conflict import RootConflictError, analyze, highest_level
+from ..engine.propagation import Propagator
+from ..engine.pb_resolution import derive_resolvent
+from ..engine.restarts import RestartScheduler
+from ..lagrangian.subgradient import LagrangianBound, SubgradientOptions
+from ..lp.relaxation import LowerBound, LPRelaxationBound
+from ..mis.independent_set import MISBound
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from .bound_conflicts import (
+    bound_conflict_clause,
+    infeasibility_clause,
+    path_explanation,
+)
+from .branching import Brancher
+from .cuts import CutGenerator
+from .options import HYBRID, LGR, LPR, MIS, PLAIN, SolverOptions
+from .preprocess import probe_necessary_assignments
+from .result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
+from .stats import SolverStats
+
+logger = logging.getLogger("repro.bsolo")
+
+
+class BsoloSolver:
+    """One-shot solver for a :class:`~repro.pb.instance.PBInstance`."""
+
+    name = "bsolo"
+
+    def __init__(self, instance: PBInstance, options: Optional[SolverOptions] = None):
+        self._instance = instance
+        self._options = options or SolverOptions()
+        self._objective = instance.objective
+        self.stats = SolverStats()
+
+        self._propagator = Propagator(instance.num_variables)
+        self._activity = VSIDSActivity(
+            instance.num_variables, decay=self._options.vsids_decay
+        )
+        self._brancher = Brancher(
+            self._activity,
+            lp_guided=self._options.lp_guided_branching
+            and self._options.lower_bound == LPR,
+            phase_saving=self._options.phase_saving,
+        )
+        self._restart_scheduler = (
+            RestartScheduler(self._options.restart_interval)
+            if self._options.restarts
+            else None
+        )
+        self._cut_generator = CutGenerator(
+            instance, cardinality_cuts=self._options.cardinality_cuts
+        )
+        self._prefilter = None  # set by _make_bounder for "hybrid"
+        self._bounder = self._make_bounder()
+        self._cut_constraints: List[Constraint] = []
+        self._lp_values: Dict[int, float] = {}
+
+        # Internal bounds live on the *path-cost scale* (objective offset
+        # excluded); results add the offset back.
+        self._upper = self._objective.max_value + 1
+        self._best_assignment: Optional[Dict[int, int]] = None
+        self._deadline: Optional[float] = None
+        self._node_counter = 0
+        self._assumptions: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _make_bounder(self):
+        method = self._options.lower_bound
+        if method == PLAIN or self._objective.is_constant:
+            return None
+        if method == MIS:
+            return MISBound(self._instance)
+        if method == LGR:
+            return LagrangianBound(
+                self._instance,
+                SubgradientOptions(max_iterations=self._options.lgr_iterations),
+            )
+        if method == HYBRID:
+            self._prefilter = MISBound(self._instance)
+        return LPRelaxationBound(
+            self._instance, max_iterations=self._options.lp_max_iterations
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Optional[Sequence[int]] = None) -> SolveResult:
+        """Run the search to completion or until a budget expires.
+
+        ``assumptions`` are literals asserted at the root before search:
+        the result is then relative to the instance *plus* those facts
+        (an UNSATISFIABLE outcome means "unsatisfiable under the
+        assumptions").
+        """
+        start = time.monotonic()
+        self._assumptions = list(assumptions or [])
+        if self._options.time_limit is not None:
+            self._deadline = start + self._options.time_limit
+        try:
+            result = self._search()
+        finally:
+            self.stats.elapsed = time.monotonic() - start
+        logger.debug("solve finished: %r (%s)", result, self.stats)
+        return result
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _search(self) -> SolveResult:
+        propagator = self._propagator
+        forced_literals: List[int] = []
+        dropped_indices = set()
+        if (
+            self._options.covering_reductions
+            and self._instance.is_covering
+            # dominance/pure-polarity keep only *some* optimal solution,
+            # which user assumptions might exclude: skip them then
+            and not self._assumptions
+        ):
+            reduction = reduce_covering(self._instance)
+            if reduction.conflict:
+                return self._finish()
+            forced_literals = reduction.forced_literals
+            dropped_indices = reduction.dropped_indices
+        for index, constraint in enumerate(self._instance.constraints):
+            if index in dropped_indices:
+                continue  # subsumed clause (covering reduction)
+            conflict = propagator.add_constraint(constraint)
+            if conflict is not None:  # pragma: no cover - instance rejects these
+                return self._finish()
+        if propagator.propagate() is not None:
+            return self._finish()
+        for literal in self._assumptions:
+            var = literal if literal > 0 else -literal
+            if var > self._instance.num_variables or var < 1:
+                raise ValueError("assumption literal %d out of range" % literal)
+            if propagator.trail.is_assigned(var):
+                if not propagator.trail.literal_is_true(literal):
+                    return self._finish()
+                continue
+            propagator.assume(literal)
+            if propagator.propagate() is not None:
+                return self._finish()
+        for literal in forced_literals:
+            var = literal if literal > 0 else -literal
+            if propagator.trail.is_assigned(var):
+                if not propagator.trail.literal_is_true(literal):
+                    return self._finish()  # assumption contradicts reduction
+                continue
+            propagator.assume(literal)
+            if propagator.propagate() is not None:
+                return self._finish()  # assumption-induced conflict
+
+        if self._options.preprocess:
+            preprocess = probe_necessary_assignments(
+                propagator,
+                learn_implications=self._options.probing_implications > 0,
+                max_implications=self._options.probing_implications,
+            )
+            self.stats.necessary_assignments = len(preprocess.necessary_literals)
+            if preprocess.unsatisfiable:
+                return self._finish()
+            for clause in preprocess.implications:
+                propagator.add_constraint(clause)
+
+        while True:
+            if self._budget_exhausted():
+                return self._timeout()
+
+            conflict = propagator.propagate()
+            if conflict is not None:
+                self.stats.logic_conflicts += 1
+                self.stats.propagations = propagator.num_propagations
+                source = conflict.stored.constraint if conflict.stored else None
+                if not self._resolve(conflict.literals, source):
+                    return self._finish()
+                self._maybe_reduce_learned()
+                if (
+                    self._restart_scheduler is not None
+                    and self._restart_scheduler.on_conflict()
+                    and propagator.trail.decision_level > 0
+                ):
+                    propagator.backtrack(0)
+                continue
+
+            if propagator.trail.all_assigned():
+                outcome = self._on_solution()
+                if outcome is not None:
+                    return outcome
+                continue
+
+            if self._bounder is not None and self._should_bound():
+                pruned, exhausted = self._apply_lower_bound()
+                if exhausted:
+                    return self._finish()
+                if pruned:
+                    continue
+
+            literal = self._brancher.pick(propagator.trail, self._lp_values)
+            if literal is None:  # pragma: no cover - all_assigned handles this
+                return self._finish()
+            self.stats.decisions += 1
+            if (
+                self._options.max_decisions is not None
+                and self.stats.decisions > self._options.max_decisions
+            ):
+                return self._timeout()
+            propagator.decide(literal)
+
+    # ------------------------------------------------------------------
+    # Lower bounding (Sections 3-4)
+    # ------------------------------------------------------------------
+    def _should_bound(self) -> bool:
+        self._node_counter += 1
+        return (self._node_counter - 1) % self._options.lb_frequency == 0
+
+    def _apply_lower_bound(self) -> Tuple[bool, bool]:
+        """Estimate ``P.lower``; prune on a bound conflict.
+
+        Returns ``(pruned, search_exhausted)``.
+        """
+        trail = self._propagator.trail
+        fixed = trail.assignment()
+        path = self._objective.path_cost(fixed)
+        bound = self._compute_bound(fixed, path)
+        self.stats.lower_bound_calls += 1
+
+        if bound.infeasible:
+            self.stats.bound_conflicts += 1
+            clause = infeasibility_clause(
+                self._instance, trail, self._cut_constraints
+            )
+            return True, not self._resolve(clause)
+
+        if bound.fractional:
+            self._lp_values = bound.fractional
+
+        if path + bound.value >= self._upper:
+            self.stats.bound_conflicts += 1
+            self.stats.prunings += 1
+            if self._options.bound_conflict_learning:
+                alpha = self._alpha_refinement(bound, fixed)
+                clause = bound_conflict_clause(
+                    self._objective, trail, bound.explanation, alpha
+                )
+            else:
+                # Chronological variant: blame every decision on the path.
+                clause = tuple(
+                    -trail.decision_at(level)
+                    for level in range(1, trail.decision_level + 1)
+                )
+            return True, not self._resolve(clause)
+        return False, False
+
+    def _compute_bound(self, fixed: Dict[int, int], path: int) -> LowerBound:
+        if self._prefilter is not None:
+            # hybrid mode: if the cheap MIS bound already prunes (or
+            # detects infeasibility), skip the LP entirely.
+            cheap = self._prefilter.compute(fixed, self._cut_constraints)
+            if cheap.infeasible or path + cheap.value >= self._upper:
+                return cheap
+        if isinstance(self._bounder, LagrangianBound):
+            target = max(float(self._upper - path), 1.0)
+            return self._bounder.compute(
+                fixed, self._cut_constraints, upper_target=target
+            )
+        return self._bounder.compute(fixed, self._cut_constraints)
+
+    def _alpha_refinement(
+        self, bound: LowerBound, fixed: Dict[int, int]
+    ) -> Optional[Dict[int, float]]:
+        if not (
+            self._options.lgr_alpha_refinement
+            and isinstance(self._bounder, LagrangianBound)
+            and bound.duals_by_row
+        ):
+            return None
+        return self._bounder.alpha_of_assigned(fixed, bound.duals_by_row)
+
+    # ------------------------------------------------------------------
+    # Solutions and cuts (Section 5)
+    # ------------------------------------------------------------------
+    def _on_solution(self) -> Optional[SolveResult]:
+        assignment = self._propagator.model()
+        cost = self._objective.path_cost(assignment)
+        self.stats.solutions_found += 1
+        improved = cost < self._upper
+        if improved:
+            # Without the eq. 10 cut the search can reach non-improving
+            # solutions; the incumbent only ever tightens.
+            self._best_assignment = dict(assignment)
+            self._upper = cost
+            reported = cost + self._objective.offset
+            logger.debug("new incumbent: cost %d", reported)
+            if self._options.on_new_solution is not None:
+                self._options.on_new_solution(reported, dict(assignment))
+
+        if self._objective.is_constant:
+            return SolveResult(
+                SATISFIABLE,
+                best_cost=self._objective.offset,
+                best_assignment=self._best_assignment,
+                stats=self.stats,
+                solver_name=self.name,
+            )
+
+        if improved and self._options.upper_bound_cuts:
+            cuts, proven = self._cut_generator.cuts_for(self._upper)
+            if proven:
+                return self._finish()
+            for cut in cuts:
+                self._propagator.add_constraint(cut)
+                self.stats.cuts_added += 1
+            # For the relaxations, each new solution's cuts dominate the
+            # previous round's (smaller rhs, same support): replace rather
+            # than accumulate, keeping the LPs small.
+            self._cut_constraints = list(cuts)
+
+        # The solution node itself is now bound-conflicting
+        # (path >= upper): learn w_pp and continue the search.
+        clause = tuple(path_explanation(self._objective, self._propagator.trail))
+        if not self._resolve(clause):
+            return self._finish()
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict resolution (logic conflicts and bound conflicts alike)
+    # ------------------------------------------------------------------
+    def _resolve(
+        self,
+        literals: Sequence[int],
+        conflict_constraint: Optional[Constraint] = None,
+    ) -> bool:
+        """Learn from a set of false literals; False = search exhausted."""
+        trail = self._propagator.trail
+        if not literals:
+            return False
+        level = highest_level(literals, trail)
+        if level == 0:
+            return False
+        if level < trail.decision_level:
+            # Bound-conflict clauses may not touch the deepest levels:
+            # rewind to the highest responsible level first (Section 4.1).
+            self._propagator.backtrack(level)
+        try:
+            analysis = analyze(literals, trail)
+        except RootConflictError:
+            return False
+        resolvent = None
+        if self._options.pb_learning and conflict_constraint is not None:
+            # must run before the backjump pops the antecedents
+            resolvent = derive_resolvent(
+                conflict_constraint,
+                analysis.resolved_variables,
+                self._propagator.antecedent,
+            )
+        self._activity.bump_all(analysis.seen_variables)
+        self._activity.decay()
+        self.stats.record_backjump(level, analysis.backtrack_level)
+        self._propagator.backtrack(analysis.backtrack_level)
+        learned = Constraint.clause(analysis.learned_literals)
+        conflict = self._propagator.add_constraint(learned, learned=True)
+        self.stats.learned_constraints += 1
+        if conflict is not None:  # pragma: no cover - learned clause asserts
+            return self._resolve(conflict.literals)
+        if analysis.asserting_literal is not None:
+            self._propagator.imply(
+                analysis.asserting_literal, analysis.learned_literals
+            )
+        if resolvent is not None:
+            conflict = self._propagator.add_constraint(resolvent, learned=True)
+            self.stats.learned_constraints += 1
+            self.stats.pb_resolvents += 1
+            if conflict is not None:
+                return self._resolve(
+                    conflict.literals,
+                    conflict.stored.constraint if conflict.stored else None,
+                )
+        return True
+
+    def _maybe_reduce_learned(self) -> None:
+        """Forget old, long learned clauses above the configured cap."""
+        limit = self._options.max_learned
+        if limit is None:
+            return
+        database = self._propagator.database
+        if database.num_learned() <= limit:
+            return
+        indices = sorted(
+            stored.index
+            for stored in database.constraints
+            if stored.learned and len(stored.constraint) > 2
+        )
+        if not indices:
+            return
+        cutoff = indices[len(indices) // 2]
+        self._propagator.reduce_learned(
+            lambda stored: len(stored.constraint) <= 2 or stored.index > cutoff
+        )
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def _budget_exhausted(self) -> bool:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return True
+        if (
+            self._options.max_conflicts is not None
+            and self.stats.conflicts > self._options.max_conflicts
+        ):
+            return True
+        return False
+
+    def _finish(self) -> SolveResult:
+        if self._best_assignment is not None:
+            status = SATISFIABLE if self._objective.is_constant else OPTIMAL
+            return SolveResult(
+                status,
+                best_cost=self._upper + self._objective.offset,
+                best_assignment=self._best_assignment,
+                stats=self.stats,
+                solver_name=self.name,
+            )
+        return SolveResult(
+            UNSATISFIABLE, stats=self.stats, solver_name=self.name
+        )
+
+    def _timeout(self) -> SolveResult:
+        best_cost = (
+            self._upper + self._objective.offset
+            if self._best_assignment is not None
+            else None
+        )
+        return SolveResult(
+            UNKNOWN,
+            best_cost=best_cost,
+            best_assignment=self._best_assignment,
+            stats=self.stats,
+            solver_name=self.name,
+        )
+
+
+def solve(instance: PBInstance, options: Optional[SolverOptions] = None) -> SolveResult:
+    """Convenience wrapper: build a solver and run it."""
+    return BsoloSolver(instance, options).solve()

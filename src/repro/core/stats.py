@@ -1,0 +1,82 @@
+"""Search statistics collected by the solvers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SolverStats:
+    """Counters describing one solve run."""
+
+    def __init__(self):
+        #: Branching decisions made.
+        self.decisions = 0
+        #: Logic conflicts (violated constraints).
+        self.logic_conflicts = 0
+        #: Bound conflicts (path + lower >= upper, paper Section 4).
+        self.bound_conflicts = 0
+        #: Implications discovered by propagation.
+        self.propagations = 0
+        #: Lower bound estimations performed.
+        self.lower_bound_calls = 0
+        #: Nodes pruned by the lower bound.
+        self.prunings = 0
+        #: Learned clauses (logic + bound).
+        self.learned_constraints = 0
+        #: Cutting-plane resolvents learned (pb_learning option).
+        self.pb_resolvents = 0
+        #: Cutting constraints added from improved solutions (Section 5).
+        self.cuts_added = 0
+        #: Solutions found (upper bound improvements).
+        self.solutions_found = 0
+        #: Sum over conflicts of (conflict level - backjump level); the
+        #: excess over 1 measures non-chronological jumps.
+        self.backjump_total = 0
+        #: Largest single backjump.
+        self.backjump_max = 0
+        #: Necessary assignments found by preprocessing.
+        self.necessary_assignments = 0
+        #: Wall-clock seconds spent in solve().
+        self.elapsed = 0.0
+
+    @property
+    def conflicts(self) -> int:
+        """Total conflicts of both kinds."""
+        return self.logic_conflicts + self.bound_conflicts
+
+    def record_backjump(self, from_level: int, to_level: int) -> None:
+        jump = from_level - to_level
+        self.backjump_total += jump
+        if jump > self.backjump_max:
+            self.backjump_max = jump
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "decisions": self.decisions,
+            "logic_conflicts": self.logic_conflicts,
+            "bound_conflicts": self.bound_conflicts,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "lower_bound_calls": self.lower_bound_calls,
+            "prunings": self.prunings,
+            "learned_constraints": self.learned_constraints,
+            "pb_resolvents": self.pb_resolvents,
+            "cuts_added": self.cuts_added,
+            "solutions_found": self.solutions_found,
+            "backjump_total": self.backjump_total,
+            "backjump_max": self.backjump_max,
+            "necessary_assignments": self.necessary_assignments,
+            "elapsed": self.elapsed,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            "SolverStats(decisions=%d, conflicts=%d+%d, lb_calls=%d, elapsed=%.3fs)"
+            % (
+                self.decisions,
+                self.logic_conflicts,
+                self.bound_conflicts,
+                self.lower_bound_calls,
+                self.elapsed,
+            )
+        )

@@ -1,0 +1,107 @@
+"""Independent verification of solver results.
+
+A solver's answer is only as trustworthy as its implementation; this
+module re-checks results with machinery independent of the search:
+
+* **feasibility**: the reported assignment satisfies every constraint
+  and its cost matches ``best_cost``;
+* **optimality certificate**: adding ``sum c_j x_j <= best - 1`` must
+  make the instance unsatisfiable — proven by a *different* solver
+  configuration (default: the PBS-like linear search, which shares no
+  branch-and-bound machinery with bsolo);
+* **unsatisfiability**: cross-checked by the independent solver.
+
+Used by the test-suite's differential harness and available to users via
+:func:`verify_result`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..pb.instance import PBInstance
+from .cuts import CutGenerator
+from .result import OPTIMAL, SATISFIABLE, SolveResult, UNSATISFIABLE
+
+
+class VerificationError(AssertionError):
+    """The result failed an independent check."""
+
+
+def _default_prover(instance: PBInstance, time_limit: Optional[float]):
+    from ..baselines.linear_search import LinearSearchSolver
+
+    return LinearSearchSolver(instance, time_limit=time_limit).solve()
+
+
+def verify_result(
+    instance: PBInstance,
+    result: SolveResult,
+    prover: Optional[Callable[[PBInstance, Optional[float]], SolveResult]] = None,
+    time_limit: Optional[float] = None,
+) -> bool:
+    """Verify ``result`` against ``instance``.
+
+    Returns True on success; raises :class:`VerificationError` with a
+    description otherwise.  A ``prover`` may be supplied (a callable
+    ``(instance, time_limit) -> SolveResult``); when the prover itself
+    exceeds its budget the optimality part is reported as unverified by
+    returning True with no exception (feasibility is always enforced).
+    """
+    prover = prover or _default_prover
+
+    if result.status == UNSATISFIABLE:
+        check = prover(instance, time_limit)
+        if check.status in (SATISFIABLE, OPTIMAL):
+            raise VerificationError(
+                "solver said UNSATISFIABLE but the prover found %r" % (check,)
+            )
+        return True
+
+    if result.status in (OPTIMAL, SATISFIABLE):
+        _check_feasibility(instance, result)
+    if result.status != OPTIMAL:
+        return True
+
+    # Optimality: no strictly better solution may exist.
+    internal_cost = result.best_cost - instance.objective.offset
+    cut = CutGenerator(instance).knapsack_cut(internal_cost)
+    if cut is None:
+        # cost is already the minimum conceivable (0 over costed vars)
+        return True
+    try:
+        improved = PBInstance(
+            list(instance.constraints) + [cut],
+            instance.objective,
+            num_variables=instance.num_variables,
+        )
+    except ValueError:
+        return True  # the cut is individually unsatisfiable: nothing better
+    check = prover(improved, time_limit)
+    if check.status in (SATISFIABLE, OPTIMAL):
+        raise VerificationError(
+            "claimed optimum %d, but the prover found a better solution %r"
+            % (result.best_cost, check.best_cost)
+        )
+    if check.status == UNSATISFIABLE:
+        return True
+    return True  # prover budget exceeded: optimality unverified
+
+
+def _check_feasibility(instance: PBInstance, result: SolveResult) -> None:
+    assignment = result.best_assignment
+    if assignment is None:
+        raise VerificationError("solved status without an assignment")
+    missing = [var for var in instance.variables() if var not in assignment]
+    if missing:
+        raise VerificationError("assignment misses variables %s" % missing[:5])
+    for constraint in instance.constraints:
+        if not constraint.is_satisfied_by(assignment):
+            raise VerificationError("assignment violates %r" % (constraint,))
+    if result.best_cost is not None:
+        actual = instance.cost(assignment)
+        if actual != result.best_cost:
+            raise VerificationError(
+                "reported cost %d but the assignment costs %d"
+                % (result.best_cost, actual)
+            )

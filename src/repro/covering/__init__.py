@@ -1,0 +1,5 @@
+"""Covering-problem reductions (paper's synthesis-set simplifications)."""
+
+from .reductions import ReductionResult, reduce_covering
+
+__all__ = ["ReductionResult", "reduce_covering"]

@@ -1,0 +1,200 @@
+"""Classical covering-matrix reductions (paper references [5, 7, 15]).
+
+"We also used simplification techniques described in [7, 15] in the
+synthesis benchmark set."  When every constraint is a clause the
+instance is a (binate) covering problem and the classical reductions of
+Coudert / Villa et al. apply:
+
+* **essential clause**: a unit clause forces its literal;
+* **clause subsumption**: a clause whose literal set contains another
+  clause's is redundant and can be dropped (duplicates too);
+* **pure polarity**: a variable occurring only complemented can be fixed
+  to 0 (satisfies every occurrence, costs nothing); one occurring only
+  positively *with zero cost* can be fixed to 1;
+* **column dominance** (unate columns): if variable ``j`` covers every
+  clause ``k`` covers, both occur only positively, and
+  ``cost(j) <= cost(k)``, then some optimal solution avoids ``k`` —
+  fix ``x_k = 0``.  (Cost ties break by index to avoid symmetric
+  elimination.)
+
+All rules preserve *at least one* optimal solution (and satisfiability),
+the standard guarantee for branch-and-bound preprocessing of covering
+problems.  The reducer iterates to a fixed point under substitution of
+the forced assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..pb.instance import PBInstance
+
+
+class ReductionResult:
+    """Outcome of covering reduction."""
+
+    __slots__ = ("forced", "dropped_indices", "rounds", "conflict")
+
+    def __init__(
+        self,
+        forced: Dict[int, int],
+        dropped_indices: Set[int],
+        rounds: int,
+        conflict: bool,
+    ):
+        #: Variable -> forced 0/1 value.
+        self.forced = forced
+        #: Indices (into ``instance.constraints``) of redundant clauses.
+        self.dropped_indices = dropped_indices
+        #: Fixed-point iterations used.
+        self.rounds = rounds
+        #: True when the reductions proved the instance unsatisfiable
+        #: (complementary unit clauses).
+        self.conflict = conflict
+
+    @property
+    def forced_literals(self) -> List[int]:
+        return [var if value else -var for var, value in sorted(self.forced.items())]
+
+    def __repr__(self) -> str:
+        return "ReductionResult(forced=%d, dropped=%d, rounds=%d)" % (
+            len(self.forced),
+            len(self.dropped_indices),
+            self.rounds,
+        )
+
+
+def reduce_covering(instance: PBInstance, max_rounds: int = 10) -> ReductionResult:
+    """Apply the covering reductions to a clause-only instance.
+
+    Raises :class:`ValueError` when some constraint is not a clause —
+    callers should check :attr:`PBInstance.is_covering` first.
+    """
+    if not instance.is_covering:
+        raise ValueError("covering reductions require a clause-only instance")
+    costs = instance.objective.costs
+
+    # live clause state: index -> set of literals (None = dropped/satisfied)
+    clauses: List[Optional[Set[int]]] = [
+        set(constraint.literals) for constraint in instance.constraints
+    ]
+    forced: Dict[int, int] = {}
+    dropped: Set[int] = set()
+    conflict = False
+
+    def assign(literal: int) -> bool:
+        """Record a forced literal; returns False on contradiction."""
+        var = literal if literal > 0 else -literal
+        value = 1 if literal > 0 else 0
+        previous = forced.get(var)
+        if previous is not None:
+            return previous == value
+        forced[var] = value
+        for index, clause in enumerate(clauses):
+            if clause is None:
+                continue
+            if literal in clause:
+                clauses[index] = None  # satisfied; not "dropped": satisfied
+            elif -literal in clause:
+                clause.discard(-literal)
+        return True
+
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds and not conflict:
+        rounds += 1
+        changed = False
+
+        # 1. empty clauses = contradiction; unit clauses force literals
+        for index, clause in enumerate(clauses):
+            if clause is None:
+                continue
+            if not clause:
+                conflict = True
+                break
+            if len(clause) == 1:
+                literal = next(iter(clause))
+                if not assign(literal):
+                    conflict = True
+                    break
+                changed = True
+        if conflict:
+            break
+
+        # 2. subsumption / duplicates
+        live = [
+            (index, frozenset(clause))
+            for index, clause in enumerate(clauses)
+            if clause is not None
+        ]
+        live.sort(key=lambda item: len(item[1]))
+        kept: List[Tuple[int, FrozenSet[int]]] = []
+        for index, literals in live:
+            redundant = any(
+                small <= literals for _, small in kept if len(small) <= len(literals)
+            )
+            if redundant:
+                clauses[index] = None
+                dropped.add(index)
+                changed = True
+            else:
+                kept.append((index, literals))
+
+        # 3. polarity analysis
+        positive_rows: Dict[int, Set[int]] = {}
+        negative_rows: Dict[int, Set[int]] = {}
+        for index, clause in enumerate(clauses):
+            if clause is None:
+                continue
+            for literal in clause:
+                var = abs(literal)
+                target = positive_rows if literal > 0 else negative_rows
+                target.setdefault(var, set()).add(index)
+        for var in list(positive_rows.keys() | negative_rows.keys()):
+            if var in forced:
+                continue
+            pos = positive_rows.get(var, set())
+            neg = negative_rows.get(var, set())
+            if not pos and neg:
+                # only complemented occurrences: 0 satisfies them for free
+                if not assign(-var):
+                    conflict = True
+                    break
+                changed = True
+            elif pos and not neg and costs.get(var, 0) == 0:
+                if not assign(var):
+                    conflict = True
+                    break
+                changed = True
+        if conflict:
+            break
+
+        # 4. column dominance among unate-positive variables
+        unate = [
+            var
+            for var in positive_rows
+            if var not in negative_rows and var not in forced
+        ]
+        unate.sort()
+        for k in unate:
+            rows_k = positive_rows[k]
+            if not rows_k:
+                continue
+            cost_k = costs.get(k, 0)
+            for j in unate:
+                if j == k or j in forced:
+                    continue
+                cost_j = costs.get(j, 0)
+                if cost_j > cost_k:
+                    continue
+                if cost_j == cost_k and j > k:
+                    continue  # break ties by index, avoid mutual elimination
+                if rows_k <= positive_rows[j]:
+                    if not assign(-k):
+                        conflict = True
+                    changed = True
+                    break
+            if conflict:
+                break
+
+    return ReductionResult(forced, dropped, rounds, conflict)

@@ -1,0 +1,31 @@
+"""SAT-engine substrate: trail, PB propagation, CDCL analysis, VSIDS.
+
+These are the "SAT-related techniques" of the paper's introduction:
+boolean constraint propagation over pseudo-boolean constraints,
+conflict-based learning and non-chronological backtracking, plus the
+Chaff VSIDS branching heuristic (Section 5).
+"""
+
+from .activity import VSIDSActivity
+from .assignment import Reason, Trail, UNASSIGNED
+from .conflict import AnalysisResult, RootConflictError, analyze, highest_level
+from .constraint_db import ConstraintDatabase, StoredConstraint
+from .propagation import Conflict, Propagator
+from .restarts import RestartScheduler, luby
+
+__all__ = [
+    "AnalysisResult",
+    "Conflict",
+    "ConstraintDatabase",
+    "Propagator",
+    "Reason",
+    "RestartScheduler",
+    "RootConflictError",
+    "StoredConstraint",
+    "Trail",
+    "UNASSIGNED",
+    "VSIDSActivity",
+    "analyze",
+    "luby",
+    "highest_level",
+]

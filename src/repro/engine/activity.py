@@ -1,0 +1,59 @@
+"""VSIDS variable activity (Chaff-style), paper Section 5.
+
+The paper uses "the VSIDS heuristic of Chaff" as the base branching
+heuristic (and as the tie-breaker for LP-guided branching).  We implement
+the modern exponential variant: bump the activity of every variable
+involved in a conflict, geometrically grow the bump increment (equivalent
+to decaying all activities), and rescale on overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+class VSIDSActivity:
+    """Per-variable activity scores with geometric decay."""
+
+    def __init__(self, num_variables: int, decay: float = 0.95):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1], got %r" % decay)
+        self._activity = [0.0] * (num_variables + 1)
+        self._increment = 1.0
+        self._decay = decay
+
+    def bump(self, var: int) -> None:
+        """Increase ``var``'s activity by the current increment."""
+        self._activity[var] += self._increment
+        if self._activity[var] > _RESCALE_LIMIT:
+            self._rescale()
+
+    def bump_all(self, variables: Iterable[int]) -> None:
+        for var in variables:
+            self.bump(var)
+
+    def decay(self) -> None:
+        """Age all activities (done once per conflict)."""
+        self._increment /= self._decay
+        if self._increment > _RESCALE_LIMIT:
+            self._rescale()
+
+    def _rescale(self) -> None:
+        self._activity = [a * _RESCALE_FACTOR for a in self._activity]
+        self._increment *= _RESCALE_FACTOR
+
+    def activity(self, var: int) -> float:
+        return self._activity[var]
+
+    def best(self, candidates: Iterable[int]) -> Optional[int]:
+        """The candidate with the highest activity (ties: lowest index)."""
+        best_var: Optional[int] = None
+        best_score = -1.0
+        for var in candidates:
+            score = self._activity[var]
+            if score > best_score:
+                best_var, best_score = var, score
+        return best_var

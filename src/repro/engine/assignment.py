@@ -1,0 +1,161 @@
+"""Assignment trail with decision levels and clausal antecedents.
+
+The trail records, in chronological order, every literal made true —
+either by a *decision* (opening a new decision level) or by an
+*implication* discovered by propagation.  Each implied variable remembers
+a clausal *reason*: a tuple of literals, all false except the implied one,
+that justifies the implication (used by conflict analysis to resolve
+backwards, paper Section 4 relies on the same machinery for bound
+conflicts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pb.literals import variable
+
+#: A clausal reason: the implied literal first, then false literals.
+Reason = Tuple[int, ...]
+
+UNASSIGNED = -1
+
+
+class Trail:
+    """Chronological assignment stack over variables ``1..num_variables``."""
+
+    def __init__(self, num_variables: int):
+        self.num_variables = num_variables
+        # value per variable: 0, 1 or UNASSIGNED
+        self._value: List[int] = [UNASSIGNED] * (num_variables + 1)
+        self._level: List[int] = [0] * (num_variables + 1)
+        self._reason: List[Optional[Reason]] = [None] * (num_variables + 1)
+        self._trail: List[int] = []  # literals made true, in order
+        self._level_start: List[int] = [0]  # trail index where each level begins
+        # last value each variable ever took (phase saving; 0 initially)
+        self._saved_phase: List[int] = [0] * (num_variables + 1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def decision_level(self) -> int:
+        return len(self._level_start) - 1
+
+    def value(self, var: int) -> int:
+        """0, 1, or ``UNASSIGNED`` for a variable."""
+        return self._value[var]
+
+    def literal_is_true(self, literal: int) -> bool:
+        value = self._value[variable(literal)]
+        if value == UNASSIGNED:
+            return False
+        return value == (1 if literal > 0 else 0)
+
+    def literal_is_false(self, literal: int) -> bool:
+        value = self._value[variable(literal)]
+        if value == UNASSIGNED:
+            return False
+        return value == (0 if literal > 0 else 1)
+
+    def is_assigned(self, var: int) -> bool:
+        return self._value[var] != UNASSIGNED
+
+    def level(self, var: int) -> int:
+        """Decision level at which ``var`` was assigned."""
+        return self._level[var]
+
+    def reason(self, var: int) -> Optional[Reason]:
+        """Clausal antecedent of ``var`` (None for decisions/unassigned)."""
+        return self._reason[var]
+
+    def saved_phase(self, var: int) -> int:
+        """The value ``var`` last held (0 if never assigned) — phase saving."""
+        return self._saved_phase[var]
+
+    def __len__(self) -> int:
+        return len(self._trail)
+
+    @property
+    def literals(self) -> Sequence[int]:
+        """All true literals, oldest first."""
+        return self._trail
+
+    def assignment(self) -> Dict[int, int]:
+        """Snapshot as a var -> 0/1 mapping (assigned variables only)."""
+        result: Dict[int, int] = {}
+        for lit in self._trail:
+            var = variable(lit)
+            result[var] = 1 if lit > 0 else 0
+        return result
+
+    def num_assigned(self) -> int:
+        return len(self._trail)
+
+    def all_assigned(self) -> bool:
+        return len(self._trail) == self.num_variables
+
+    def unassigned_variables(self) -> List[int]:
+        return [
+            var
+            for var in range(1, self.num_variables + 1)
+            if self._value[var] == UNASSIGNED
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def decide(self, literal: int) -> None:
+        """Open a new decision level and make ``literal`` true."""
+        self._level_start.append(len(self._trail))
+        self._push(literal, None)
+
+    def imply(self, literal: int, reason: Reason) -> None:
+        """Make ``literal`` true at the current level with a clausal reason."""
+        self._push(literal, reason)
+
+    def assume(self, literal: int) -> None:
+        """Root-level (level 0) assignment, e.g. from preprocessing."""
+        if self.decision_level != 0:
+            raise ValueError("assumptions only at decision level 0")
+        self._push(literal, None)
+
+    def _push(self, literal: int, reason: Optional[Reason]) -> None:
+        var = variable(literal)
+        if self._value[var] != UNASSIGNED:
+            raise ValueError("variable %d already assigned" % var)
+        self._value[var] = 1 if literal > 0 else 0
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._saved_phase[var] = self._value[var]
+        self._trail.append(literal)
+
+    def backtrack(self, target_level: int) -> List[int]:
+        """Undo every assignment above ``target_level``.
+
+        Returns the list of unassigned literals (most recent first) so the
+        propagator can restore constraint slacks.
+        """
+        if target_level < 0 or target_level > self.decision_level:
+            raise ValueError(
+                "cannot backtrack to level %d from %d"
+                % (target_level, self.decision_level)
+            )
+        if target_level == self.decision_level:
+            return []
+        cut = self._level_start[target_level + 1]
+        undone: List[int] = []
+        while len(self._trail) > cut:
+            lit = self._trail.pop()
+            var = variable(lit)
+            self._value[var] = UNASSIGNED
+            self._reason[var] = None
+            undone.append(lit)
+        del self._level_start[target_level + 1 :]
+        return undone
+
+    def decision_at(self, level: int) -> int:
+        """The decision literal that opened ``level`` (level >= 1)."""
+        if level < 1 or level > self.decision_level:
+            raise ValueError("no decision at level %d" % level)
+        return self._trail[self._level_start[level]]

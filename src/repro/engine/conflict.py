@@ -1,0 +1,139 @@
+"""Conflict analysis: first-UIP clause learning over clausal reasons.
+
+Given a conflicting set of false literals (from a violated constraint or
+from a bound conflict ``w_bc``, paper Section 4), resolve backwards along
+the implication graph until exactly one literal from the conflict decision
+level remains (the first unique implication point).  The learned clause is
+asserting after backjumping to the second-highest level it mentions —
+this is precisely the mechanism that gives bsolo non-chronological
+backtracking for both logic conflicts and bound conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..pb.literals import variable
+from .assignment import Trail
+
+
+class AnalysisResult:
+    """Outcome of conflict analysis."""
+
+    __slots__ = (
+        "learned_literals",
+        "backtrack_level",
+        "asserting_literal",
+        "seen_variables",
+        "resolved_variables",
+    )
+
+    def __init__(
+        self,
+        learned_literals: Tuple[int, ...],
+        backtrack_level: int,
+        asserting_literal: Optional[int],
+        seen_variables: Tuple[int, ...],
+        resolved_variables: Tuple[int, ...] = (),
+    ):
+        #: Literals of the learned clause (all false at conflict time).
+        self.learned_literals = learned_literals
+        #: Level to backjump to (clause is asserting there).
+        self.backtrack_level = backtrack_level
+        #: The clause literal that becomes implied after the backjump
+        #: (``None`` only for an empty learned clause).
+        self.asserting_literal = asserting_literal
+        #: Variables touched during resolution (for VSIDS bumping).
+        self.seen_variables = seen_variables
+        #: Variables resolved away, in trail-reverse order (replayed by
+        #: the optional cutting-plane learner).
+        self.resolved_variables = resolved_variables
+
+
+class RootConflictError(Exception):
+    """Conflict at decision level 0: the formula is unsatisfiable."""
+
+
+def highest_level(literals: Iterable[int], trail: Trail) -> int:
+    """Maximum decision level among the (assigned) literals."""
+    result = 0
+    for lit in literals:
+        level = trail.level(variable(lit))
+        if level > result:
+            result = level
+    return result
+
+
+def analyze(conflict_literals: Iterable[int], trail: Trail) -> AnalysisResult:
+    """First-UIP resolution from a set of false literals.
+
+    Precondition: every literal in ``conflict_literals`` is false under
+    ``trail`` and at least one was assigned at the current decision level
+    (callers handling bound conflicts backtrack to ``highest_level`` of
+    the clause first to establish this).
+
+    Raises :class:`RootConflictError` when the conflict does not depend on
+    any decision.
+    """
+    conflict_level = trail.decision_level
+    seen = set()
+    counter = 0  # literals of the current clause at conflict_level
+    learned: List[int] = []  # literals below conflict_level
+    all_seen: List[int] = []
+
+    def absorb(literals: Iterable[int], skip_var: Optional[int]) -> None:
+        nonlocal counter
+        for lit in literals:
+            var = variable(lit)
+            if var == skip_var or var in seen:
+                continue
+            if not trail.literal_is_false(lit):  # pragma: no cover - defensive
+                raise AssertionError("conflict literal %d is not false" % lit)
+            seen.add(var)
+            all_seen.append(var)
+            level = trail.level(var)
+            if level == 0:
+                continue  # root-level facts never appear in learned clauses
+            if level == conflict_level:
+                counter += 1
+            else:
+                learned.append(lit)
+
+    absorb(conflict_literals, None)
+
+    if counter == 0:
+        # No dependence on the conflict level at all.
+        if not learned:
+            raise RootConflictError("conflict explained by root-level assignments")
+        raise AssertionError(
+            "analyze() requires a literal at the conflict level; "
+            "backtrack to highest_level() first"
+        )
+
+    asserting: Optional[int] = None
+    resolved: List[int] = []
+    for trail_lit in reversed(trail.literals):
+        var = variable(trail_lit)
+        if var not in seen or trail.level(var) != conflict_level:
+            continue
+        if counter == 1:
+            asserting = -trail_lit  # the UIP, negated, completes the clause
+            break
+        reason = trail.reason(var)
+        if reason is None:  # pragma: no cover - defensive
+            raise AssertionError("multiple conflict literals reached the decision")
+        counter -= 1
+        resolved.append(var)
+        # reason = (implied literal, false literals...); resolve on var
+        absorb(reason[1:], skip_var=var)
+    if asserting is None:  # pragma: no cover - defensive
+        raise AssertionError("first UIP not found")
+
+    backtrack_level = highest_level(learned, trail)
+    return AnalysisResult(
+        learned_literals=tuple([asserting] + learned),
+        backtrack_level=backtrack_level,
+        asserting_literal=asserting,
+        seen_variables=tuple(all_seen),
+        resolved_variables=tuple(resolved),
+    )

@@ -1,0 +1,269 @@
+"""Counter-based boolean constraint propagation for PB constraints.
+
+For a normalized constraint ``sum a_j l_j >= b`` define::
+
+    slack = sum_{l_j not false} a_j  -  b
+
+*Violation*: ``slack < 0`` — too many literals are already false.
+*Implication*: an unassigned ``l_j`` with ``a_j > slack`` must be true.
+For clauses this degenerates to classical unit propagation.
+
+Slack updates are applied *eagerly* at assignment time (and undone at
+backtrack time), which keeps the database consistent even when a conflict
+interrupts the propagation queue.  Reasons for implications are computed
+eagerly too, as clausal explanations: a greedy (largest coefficients
+first) subset of the constraint's false literals strong enough to force
+the implication — this keeps conflict analysis purely clausal, the
+strategy of the bsolo family of solvers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..pb.constraints import Constraint
+from ..pb.literals import variable
+from .assignment import Reason, Trail
+from .constraint_db import ConstraintDatabase, StoredConstraint
+
+
+class Conflict:
+    """A violated constraint plus a clausal explanation.
+
+    ``literals`` are all false under the current trail; together they are
+    sufficient for the violation.  For bound conflicts (paper Section 4)
+    ``stored`` is ``None`` and the literals come from ``w_bc``.
+    """
+
+    __slots__ = ("stored", "literals")
+
+    def __init__(self, stored: Optional[StoredConstraint], literals: Tuple[int, ...]):
+        self.stored = stored
+        self.literals = literals
+
+    def __repr__(self) -> str:
+        return "Conflict(%r)" % (self.literals,)
+
+
+class Propagator:
+    """Drives assignments, slack maintenance and implication discovery."""
+
+    def __init__(self, num_variables: int):
+        self.trail = Trail(num_variables)
+        self.database = ConstraintDatabase(self.trail)
+        self._pending: Deque[StoredConstraint] = deque()
+        self.num_propagations = 0
+        # var -> the PB constraint that implied it (for cutting-plane
+        # learning; the clausal reason on the trail is authoritative for
+        # clausal analysis)
+        self._antecedent: dict = {}
+
+    # ------------------------------------------------------------------
+    # Constraint management
+    # ------------------------------------------------------------------
+    def add_constraint(
+        self, constraint: Constraint, learned: bool = False
+    ) -> Optional[Conflict]:
+        """Attach a constraint mid-search.
+
+        Returns a conflict immediately when the constraint is violated
+        under the current trail; otherwise schedules it for implication
+        scanning by the next :meth:`propagate`.
+        """
+        stored = self.database.add(constraint, learned=learned)
+        if stored.slack < 0:
+            return Conflict(stored, self.explain_violation(stored))
+        stored.queued = True
+        self._pending.append(stored)
+        return None
+
+    # ------------------------------------------------------------------
+    # Assignment entry points
+    # ------------------------------------------------------------------
+    def decide(self, literal: int) -> None:
+        """Open a new decision level with ``literal`` true."""
+        self.trail.decide(literal)
+        self._after_assign(literal)
+
+    def imply(
+        self,
+        literal: int,
+        reason: Reason,
+        antecedent: Optional[Constraint] = None,
+    ) -> None:
+        """Assert an implication at the current level."""
+        self.trail.imply(literal, reason)
+        if antecedent is not None:
+            self._antecedent[variable(literal)] = antecedent
+        self._after_assign(literal)
+
+    def antecedent(self, var: int) -> Optional[Constraint]:
+        """The PB constraint that implied ``var`` (None for decisions or
+        externally asserted literals)."""
+        return self._antecedent.get(var)
+
+    def assume(self, literal: int) -> None:
+        """Root-level assignment (preprocessing, necessary assignments)."""
+        self.trail.assume(literal)
+        self._after_assign(literal)
+
+    def _after_assign(self, literal: int) -> None:
+        pending = self._pending
+        for stored in self.database.on_literal_true(literal):
+            # enqueue only when the constraint might act: it is violated,
+            # or some coefficient now exceeds the slack
+            if not stored.queued and stored.slack < stored.max_coef:
+                stored.queued = True
+                pending.append(stored)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def propagate(self) -> Optional[Conflict]:
+        """Run boolean constraint propagation to a fixed point.
+
+        Returns the first conflict discovered, or ``None``.  The pending
+        queue is fully drained either way (slacks stay consistent; stale
+        entries are re-checked cheaply).
+        """
+        while self._pending:
+            stored = self._pending.popleft()
+            stored.queued = False
+            if stored.slack < 0:
+                self._clear_pending()
+                return Conflict(stored, self.explain_violation(stored))
+            if stored.slack >= stored.max_coef:
+                continue  # nothing can be implied
+            conflict = self._scan_implications(stored)
+            if conflict is not None:
+                self._clear_pending()
+                return conflict
+        return None
+
+    def _clear_pending(self) -> None:
+        for stored in self._pending:
+            stored.queued = False
+        self._pending.clear()
+
+    def _scan_implications(self, stored: StoredConstraint) -> Optional[Conflict]:
+        slack = stored.slack
+        constraint = stored.constraint
+        # hot loop: read the trail's value array directly (UNASSIGNED = -1);
+        # implying a literal never changes this constraint's own slack, so
+        # the local `slack` stays valid for the whole scan
+        values = self.trail._value
+        for coef, lit in constraint.terms:
+            if coef <= slack:
+                continue
+            var = lit if lit > 0 else -lit
+            if values[var] >= 0:
+                continue
+            reason = self._build_reason(stored, lit, coef)
+            self.num_propagations += 1
+            self.imply(lit, reason, antecedent=constraint)
+        return None
+
+    # ------------------------------------------------------------------
+    # Explanations
+    # ------------------------------------------------------------------
+    def _false_terms_descending(
+        self, stored: StoredConstraint
+    ) -> List[Tuple[int, int]]:
+        trail = self.trail
+        false_terms = [
+            (coef, lit)
+            for coef, lit in stored.constraint.terms
+            if trail.literal_is_false(lit)
+        ]
+        false_terms.sort(key=lambda term: -term[0])
+        return false_terms
+
+    def _build_reason(self, stored: StoredConstraint, literal: int, coef: int) -> Reason:
+        """Clausal reason for ``literal`` implied by ``stored``.
+
+        Needs false literals whose combined coefficient exceeds
+        ``total - rhs - coef`` (after which the remaining supply cannot
+        reach the rhs without ``literal``).
+        """
+        constraint = stored.constraint
+        total = sum(c for c, _ in constraint.terms)
+        needed = total - constraint.rhs - coef
+        chosen: List[int] = [literal]
+        acc = 0
+        for false_coef, false_lit in self._false_terms_descending(stored):
+            if acc > needed:
+                break
+            chosen.append(false_lit)
+            acc += false_coef
+        if acc <= needed:  # pragma: no cover - defensive
+            raise AssertionError("implication reason under-explains %r" % constraint)
+        return tuple(chosen)
+
+    def explain_violation(self, stored: StoredConstraint) -> Tuple[int, ...]:
+        """False literals sufficient for ``slack < 0``.
+
+        Their combined coefficient must exceed ``total - rhs``.
+        """
+        constraint = stored.constraint
+        total = sum(c for c, _ in constraint.terms)
+        needed = total - constraint.rhs
+        chosen: List[int] = []
+        acc = 0
+        for false_coef, false_lit in self._false_terms_descending(stored):
+            if acc > needed:
+                break
+            chosen.append(false_lit)
+            acc += false_coef
+        if acc <= needed:
+            raise AssertionError("constraint %r is not violated" % constraint)
+        return tuple(chosen)
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def backtrack(self, target_level: int) -> None:
+        """Undo assignments above ``target_level`` and restore slacks."""
+        for lit in self.trail.backtrack(target_level):
+            self.database.on_literal_unassigned(lit)
+            self._antecedent.pop(variable(lit), None)
+        self._clear_pending()
+        # Constraints that became unit again are rediscovered lazily: any
+        # implication missed here can only matter after the caller asserts
+        # a learned clause and re-propagates, which re-queues via
+        # add_constraint / assignments.  To stay complete we rescan all
+        # constraints whose slack could imply at this level on demand via
+        # reschedule_all() from the solver after a backjump.
+
+    def reschedule_all(self) -> None:
+        """Queue every constraint for an implication scan."""
+        for stored in self.database.constraints:
+            if not stored.queued:
+                stored.queued = True
+                self._pending.append(stored)
+
+    # ------------------------------------------------------------------
+    def reduce_learned(self, keep) -> int:
+        """Forget learned constraints failing ``keep`` (clause deletion).
+
+        An implied literal keeps its (value-copied) reason, so soundness
+        is unaffected; only future propagation strength changes.
+        """
+        removed = self.database.remove_learned(keep)
+        if removed:
+            survivors = set(map(id, self.database.constraints))
+            fresh = deque()
+            for stored in self._pending:
+                if id(stored) in survivors:
+                    fresh.append(stored)
+                else:
+                    stored.queued = False
+            self._pending = fresh
+        return removed
+
+    # ------------------------------------------------------------------
+    def model(self) -> dict:
+        """The current (complete) assignment as a var -> 0/1 mapping."""
+        if not self.trail.all_assigned():
+            raise ValueError("model requested from partial assignment")
+        return self.trail.assignment()

@@ -1,0 +1,55 @@
+"""Restart scheduling (Luby sequence).
+
+Not part of the DATE'05 bsolo, but a standard SAT-era technique worth an
+ablation: restarting clears the decision stack while keeping learned
+constraints (including bound-conflict clauses and the incumbent), so the
+search is still complete for optimization.
+"""
+
+from __future__ import annotations
+
+
+def luby(index: int) -> int:
+    """The Luby et al. restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    ``index`` is 1-based (``luby(1) == 1``); the classical iterative
+    formulation from MiniSat.
+    """
+    if index < 1:
+        raise ValueError("luby index is 1-based")
+    i = index - 1
+    size, exponent = 1, 0
+    while size < i + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        exponent -= 1
+        i = i % size
+    return 1 << exponent
+
+
+class RestartScheduler:
+    """Counts conflicts and says when to restart."""
+
+    def __init__(self, base_interval: int = 100):
+        if base_interval < 1:
+            raise ValueError("base_interval must be positive")
+        self._base = base_interval
+        self._sequence_index = 1
+        self._conflicts = 0
+        self.num_restarts = 0
+
+    @property
+    def threshold(self) -> int:
+        return self._base * luby(self._sequence_index)
+
+    def on_conflict(self) -> bool:
+        """Record a conflict; True when a restart is due."""
+        self._conflicts += 1
+        if self._conflicts >= self.threshold:
+            self._conflicts = 0
+            self._sequence_index += 1
+            self.num_restarts += 1
+            return True
+        return False

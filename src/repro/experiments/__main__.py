@@ -1,0 +1,116 @@
+"""Run the experiment harness from the command line.
+
+Examples::
+
+    python -m repro.experiments table1 --count 5 --time-limit 6
+    python -m repro.experiments table1 --fast
+    python -m repro.experiments bounds --family mcnc
+    python -m repro.experiments scaling --family ptl --sizes 8 12 16
+    python -m repro.experiments ablations --family mcnc
+    python -m repro.experiments export --directory instances/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ablations import format_ablations, run_ablations
+from .bounds import bound_quality, format_bound_quality
+from .reporting import format_table1
+from .runner import SOLVER_NAMES
+from .scaling import crossover_size, format_sweep, scaling_sweep
+from .table1 import FAMILIES, family_instances, generate_table1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Experiment harness for the DATE'05 PBO reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--count", type=int, default=5)
+    table1.add_argument("--time-limit", type=float, default=6.0)
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.add_argument("--fast", action="store_true", help="count=2, 2s budget")
+
+    bounds = sub.add_parser("bounds", help="root lower-bound quality table")
+    bounds.add_argument("--family", choices=FAMILIES, default="mcnc")
+    bounds.add_argument("--count", type=int, default=5)
+    bounds.add_argument("--lgr-iterations", type=int, default=200)
+
+    scaling = sub.add_parser("scaling", help="size sweep for one family")
+    scaling.add_argument("--family", default="ptl")
+    scaling.add_argument("--sizes", type=int, nargs="+", default=[8, 12, 16, 18])
+    scaling.add_argument(
+        "--solvers", nargs="+", default=["bsolo-plain", "bsolo-lpr"],
+        choices=list(SOLVER_NAMES) + ["bsolo-hybrid", "scherzo"],
+    )
+    scaling.add_argument("--time-limit", type=float, default=6.0)
+
+    ablations = sub.add_parser("ablations", help="feature grid on one family")
+    ablations.add_argument("--family", choices=FAMILIES, default="mcnc")
+    ablations.add_argument("--count", type=int, default=3)
+    ablations.add_argument("--scale", type=float, default=0.5)
+    ablations.add_argument("--time-limit", type=float, default=6.0)
+
+    export = sub.add_parser("export", help="write the suites as .opb files")
+    export.add_argument("--directory", default="instances")
+    export.add_argument("--count", type=int, default=5)
+    export.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        count = 2 if args.fast else args.count
+        time_limit = 2.0 if args.fast else args.time_limit
+        result = generate_table1(
+            time_limit=time_limit, count=count, scale=args.scale
+        )
+        print(format_table1(result))
+        print()
+        print("bsolo ordering holds:", result.bsolo_ordering_holds())
+        print("acc rows identical:", result.acc_rows_identical_for_bsolo())
+    elif args.command == "bounds":
+        instances, labels = family_instances(args.family, count=args.count)
+        records = bound_quality(
+            instances, labels, lgr_iterations=args.lgr_iterations
+        )
+        print(format_bound_quality(records))
+    elif args.command == "scaling":
+        points = scaling_sweep(
+            args.family,
+            sizes=args.sizes,
+            solver_names=tuple(args.solvers),
+            time_limit=args.time_limit,
+        )
+        print(format_sweep(points))
+        if len(args.solvers) >= 2:
+            size = crossover_size(points, args.solvers[-1], args.solvers[0])
+            print(
+                "crossover (%s over %s): %s"
+                % (args.solvers[-1], args.solvers[0], size)
+            )
+    elif args.command == "ablations":
+        instances, _ = family_instances(
+            args.family, count=args.count, scale=args.scale
+        )
+        records = run_ablations(instances, time_limit=args.time_limit)
+        print(format_ablations(records))
+    elif args.command == "export":
+        from ..benchgen.export import export_table1_suite
+
+        written = export_table1_suite(
+            args.directory, count=args.count, scale=args.scale
+        )
+        print("wrote %d instances under %s" % (len(written), args.directory))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

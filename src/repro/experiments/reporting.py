@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables (Table 1 lookalike)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .runner import RunRecord
+from .table1 import Table1Result
+
+
+def format_matrix(
+    records: Dict[str, List[RunRecord]], solver_names: Sequence[str]
+) -> str:
+    """One family's block: instances as rows, solvers as columns."""
+    if not records:
+        return ""
+    labels = [record.instance_label for record in records[solver_names[0]]]
+    best_costs = []
+    for index in range(len(labels)):
+        costs = [
+            records[name][index].result.best_cost
+            for name in solver_names
+            if records[name][index].result.solved
+            and records[name][index].result.best_cost is not None
+        ]
+        best_costs.append(min(costs) if costs else None)
+
+    header = ["Benchmark", "Sol."] + list(solver_names)
+    rows = [header]
+    for index, label in enumerate(labels):
+        statuses = {
+            records[name][index].result.status for name in solver_names
+        }
+        if "satisfiable" in statuses:
+            sol = "SAT"  # pure satisfaction row (paper's [16] family)
+        elif best_costs[index] is None:
+            sol = "-"
+        else:
+            sol = str(best_costs[index])
+        row = [label, sol]
+        for name in solver_names:
+            row.append(records[name][index].cell())
+        rows.append(row)
+    return _align(rows)
+
+
+def format_table1(result: Table1Result) -> str:
+    """The full report: one block per family plus the #Solved row."""
+    blocks = []
+    for family, records in result.per_family.items():
+        blocks.append("[%s]" % family)
+        blocks.append(format_matrix(records, result.solver_names))
+    totals = result.solved_by_solver()
+    total_instances = sum(
+        len(next(iter(records.values()))) for records in result.per_family.values()
+    )
+    summary = [["#Solved", str(total_instances)] + [
+        str(totals[name]) for name in result.solver_names
+    ]]
+    blocks.append(_align(summary))
+    return "\n".join(blocks)
+
+
+def _align(rows: List[List[str]]) -> str:
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)

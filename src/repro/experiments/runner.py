@@ -1,0 +1,124 @@
+"""Timed solver runs and the solver registry (paper Section 6 harness).
+
+The registry names mirror Table 1's columns: ``pbs``, ``galena``,
+``cplex`` (our reimplementations of the comparators) and the four bsolo
+configurations ``bsolo-plain`` / ``bsolo-mis`` / ``bsolo-lgr`` /
+``bsolo-lpr``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.covering_bnb import CoveringBnBSolver
+from ..baselines.cutting_planes import CuttingPlanesSolver
+from ..baselines.linear_search import LinearSearchSolver
+from ..baselines.milp import MILPSolver
+from ..core.options import SolverOptions
+from ..core.result import SolveResult
+from ..core.solver import BsoloSolver
+from ..pb.instance import PBInstance
+
+#: Table 1 column order.
+SOLVER_NAMES = (
+    "pbs",
+    "galena",
+    "cplex",
+    "bsolo-plain",
+    "bsolo-mis",
+    "bsolo-lgr",
+    "bsolo-lpr",
+)
+
+#: The bsolo variants (the paper's four right-most columns).
+BSOLO_NAMES = ("bsolo-plain", "bsolo-mis", "bsolo-lgr", "bsolo-lpr")
+
+
+def make_solver(name: str, instance: PBInstance, time_limit: Optional[float]):
+    """Instantiate a registered solver for one instance.
+
+    Beyond the Table 1 columns, ``scherzo`` (classical covering branch &
+    bound, clause-only instances) and ``bsolo-hybrid`` are available.
+    """
+    if name == "pbs":
+        return LinearSearchSolver(instance, time_limit=time_limit)
+    if name == "galena":
+        return CuttingPlanesSolver(instance, time_limit=time_limit)
+    if name == "cplex":
+        return MILPSolver(instance, time_limit=time_limit)
+    if name == "scherzo":
+        return CoveringBnBSolver(instance, time_limit=time_limit)
+    if name.startswith("bsolo-"):
+        method = name.split("-", 1)[1]
+        options = SolverOptions(lower_bound=method, time_limit=time_limit)
+        return BsoloSolver(instance, options)
+    raise ValueError("unknown solver %r (choose from %s)" % (name, SOLVER_NAMES))
+
+
+class RunRecord:
+    """One (solver, instance) cell of an experiment table."""
+
+    __slots__ = ("solver", "instance_label", "result", "seconds")
+
+    def __init__(self, solver: str, instance_label: str, result: SolveResult, seconds: float):
+        self.solver = solver
+        self.instance_label = instance_label
+        self.result = result
+        self.seconds = seconds
+
+    @property
+    def solved(self) -> bool:
+        return self.result.solved
+
+    def cell(self) -> str:
+        """Table 1 style cell: time when solved, "ub N" / "time" otherwise."""
+        if self.result.solved:
+            return "%.2f" % self.seconds
+        if self.result.best_cost is not None:
+            return "ub %d" % self.result.best_cost
+        return "time"
+
+    def __repr__(self) -> str:
+        return "RunRecord(%s on %s: %s)" % (
+            self.solver, self.instance_label, self.cell()
+        )
+
+
+def run_one(
+    solver_name: str,
+    instance: PBInstance,
+    instance_label: str,
+    time_limit: Optional[float] = None,
+) -> RunRecord:
+    """Run one solver on one instance with a wall-clock budget."""
+    solver = make_solver(solver_name, instance, time_limit)
+    start = time.monotonic()
+    result = solver.solve()
+    seconds = time.monotonic() - start
+    return RunRecord(solver_name, instance_label, result, seconds)
+
+
+def run_matrix(
+    instances: Sequence,
+    labels: Sequence[str],
+    solver_names: Sequence[str] = SOLVER_NAMES,
+    time_limit: Optional[float] = None,
+) -> Dict[str, List[RunRecord]]:
+    """Run every named solver over every instance.
+
+    Returns ``{solver_name: [RunRecord per instance]}``.
+    """
+    records: Dict[str, List[RunRecord]] = {name: [] for name in solver_names}
+    for instance, label in zip(instances, labels):
+        for name in solver_names:
+            records[name].append(run_one(name, instance, label, time_limit))
+    return records
+
+
+def solved_counts(records: Dict[str, List[RunRecord]]) -> Dict[str, int]:
+    """The paper's "#Solved" summary row."""
+    return {
+        name: sum(1 for record in runs if record.solved)
+        for name, runs in records.items()
+    }

@@ -1,0 +1,5 @@
+"""Lagrangian relaxation lower bounding (paper Sections 3.2 and 4.3)."""
+
+from .subgradient import LagrangianBound, SubgradientOptions
+
+__all__ = ["LagrangianBound", "SubgradientOptions"]

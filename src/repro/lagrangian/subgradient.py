@@ -1,0 +1,210 @@
+"""Lagrangian relaxation lower bounding (paper Sections 3.2, 4.3).
+
+The constraints of the (reduced) sub-problem are dualized into the
+objective with non-negative multipliers ``mu``.  For inequality
+constraints ``A x >= b`` the correct penalization is ``mu . (b - A x)``
+(Ahuja-Magnanti-Orlin, the paper's reference [12]; the paper's eq. 4/6
+carry a sign typo — with ``mu . (A x - b)`` and non-negative data every
+``alpha_j`` would be non-negative and the bound trivial).  Hence::
+
+    L(mu) = min_{x in {0,1}^n}  sum_j alpha_j x_j  +  mu . b
+    alpha_j = c_j - sum_i mu_i a_ij          (integer-form coefficients)
+    x_j(mu) = 1  iff  alpha_j < 0
+
+``L(mu)`` is a lower bound on the PB optimum for every ``mu >= 0``
+(Lagrangian bounding principle); ``L* = max_mu L(mu)`` is approached with
+the textbook subgradient method: ``mu <- max(0, mu + theta_k g_k)`` with
+``g_k = b - A x(mu_k)`` and step ``theta_k = lambda_k (UB - L(mu_k)) /
+||g_k||^2``, halving ``lambda`` after a stall.
+
+For bound-conflict explanations (Section 4.3) the responsible set ``S``
+holds the constraints with non-zero multipliers; the ``alpha_j`` sign
+refinement drops assignments whose flip could only raise the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from ..lp.relaxation import LowerBound
+from ..lp.standard_form import build_lp_data
+
+
+class SubgradientOptions:
+    """Tuning knobs for the subgradient ascent."""
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        initial_lambda: float = 2.0,
+        stall_limit: int = 5,
+        min_lambda: float = 1e-4,
+    ):
+        self.max_iterations = max_iterations
+        self.initial_lambda = initial_lambda
+        self.stall_limit = stall_limit
+        self.min_lambda = min_lambda
+
+
+class LagrangianBound:
+    """Lower bound estimation via Lagrangian relaxation + subgradient."""
+
+    name = "lgr"
+
+    def __init__(
+        self,
+        instance: PBInstance,
+        options: Optional[SubgradientOptions] = None,
+        multiplier_tol: float = 1e-9,
+        reuse_multipliers: bool = True,
+    ):
+        self._instance = instance
+        self._options = options or SubgradientOptions()
+        self._multiplier_tol = multiplier_tol
+        #: Warm-start each call from the previous call's best multipliers
+        #: (consecutive search nodes have similar sub-problems, so the
+        #: ascent resumes near the optimum — standard subgradient
+        #: practice, Ahuja-Magnanti-Orlin).
+        self._reuse_multipliers = reuse_multipliers
+        self._mu_memory: Dict[Constraint, float] = {}
+        self.num_calls = 0
+        self.total_iterations = 0
+        #: Trace of L(mu) per iteration of the last call (for convergence
+        #: studies, paper Section 6 discusses LGR's slow convergence).
+        self.last_trace: List[float] = []
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        fixed: Mapping[int, int],
+        extra_constraints: Sequence[Constraint] = (),
+        upper_target: Optional[float] = None,
+        warm_start: Optional[Mapping[Constraint, float]] = None,
+    ) -> LowerBound:
+        """``P.lower`` via subgradient ascent of ``L(mu)``.
+
+        ``upper_target`` feeds the Polyak step size (defaults to the sum
+        of remaining costs); ``warm_start`` may carry LP duals keyed by
+        constraint.
+        """
+        self.num_calls += 1
+        data = build_lp_data(self._instance, fixed, extra_constraints)
+        if data is None:
+            return LowerBound(0, infeasible=True)
+        m, n = data.num_rows, data.num_columns
+        if m == 0:
+            return LowerBound(0)
+
+        c = data.c
+        A = data.A
+        b = data.b
+        if upper_target is None:
+            upper_target = float(c.sum()) + 1.0
+
+        mu = np.zeros(m)
+        source = warm_start if warm_start else (
+            self._mu_memory if self._reuse_multipliers else None
+        )
+        if source:
+            for i, row in enumerate(data.rows):
+                mu[i] = max(0.0, float(source.get(row, 0.0)))
+
+        options = self._options
+        lam = options.initial_lambda
+        best_value = -math.inf
+        best_mu = mu.copy()
+        stall = 0
+        self.last_trace = []
+
+        for iteration in range(options.max_iterations):
+            alpha = c - mu @ A
+            x = (alpha < 0.0).astype(float)
+            value = float(alpha[alpha < 0.0].sum() + mu @ b)
+            self.last_trace.append(value)
+            self.total_iterations += 1
+            if value > best_value + 1e-12:
+                best_value = value
+                best_mu = mu.copy()
+                stall = 0
+            else:
+                stall += 1
+                if stall >= options.stall_limit:
+                    lam /= 2.0
+                    stall = 0
+                    if lam < options.min_lambda:
+                        break
+            g = b - A @ x
+            norm = float(g @ g)
+            if norm < 1e-12:
+                # x(mu) satisfies every dualized row exactly: L(mu) is L*.
+                break
+            theta = lam * max(upper_target - value, 1e-6) / norm
+            mu = np.maximum(0.0, mu + theta * g)
+
+        if best_value == -math.inf:  # pragma: no cover - defensive
+            best_value = 0.0
+        bound = int(math.ceil(best_value - 1e-6))
+        bound = max(bound, 0)
+
+        if self._reuse_multipliers:
+            self._mu_memory = {
+                data.rows[i]: float(best_mu[i])
+                for i in range(m)
+                if best_mu[i] > self._multiplier_tol
+            }
+
+        explanation, alpha_by_var = self._explanation(data, best_mu)
+        return LowerBound(
+            bound,
+            explanation=explanation,
+            fractional={},
+            duals_by_row={
+                data.rows[i]: float(best_mu[i]) for i in range(m) if best_mu[i] > self._multiplier_tol
+            },
+            iterations=len(self.last_trace),
+        )
+
+    # ------------------------------------------------------------------
+    def _explanation(
+        self, data, mu: np.ndarray
+    ) -> Tuple[List[Constraint], Dict[int, float]]:
+        """The paper's set ``S``: constraints with non-zero multipliers."""
+        explanation = [
+            data.rows[i] for i in range(data.num_rows) if mu[i] > self._multiplier_tol
+        ]
+        alpha = data.c - mu @ data.A
+        alpha_by_var = {
+            data.columns[j]: float(alpha[j]) for j in range(data.num_columns)
+        }
+        return explanation, alpha_by_var
+
+    # ------------------------------------------------------------------
+    def alpha_of_assigned(
+        self,
+        fixed: Mapping[int, int],
+        duals_by_row: Mapping[Constraint, float],
+    ) -> Dict[int, float]:
+        """``alpha_j`` for *assigned* variables over the S constraints.
+
+        Used by the Section 4.3 refinement: a false literal over variable
+        ``j`` can be dropped from ``w_pl`` when flipping ``x_j`` cannot
+        lower the bound, i.e. when ``x_j = 0`` and ``alpha_j >= 0``, or
+        ``x_j = 1`` and ``alpha_j <= 0`` (corrected signs).
+        """
+        alpha: Dict[int, float] = {}
+        costs = self._instance.objective.costs
+        for var in fixed:
+            alpha[var] = float(costs.get(var, 0))
+        for constraint, mu_i in duals_by_row.items():
+            if mu_i <= self._multiplier_tol:
+                continue
+            weights, _ = constraint.integer_form()
+            for var, weight in weights.items():
+                if var in alpha:
+                    alpha[var] -= mu_i * weight
+        return alpha

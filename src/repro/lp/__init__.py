@@ -1,0 +1,35 @@
+"""LP substrate: bounded simplex and the LPR lower bound (Section 3.1)."""
+
+from .relaxation import LowerBound, LPRelaxationBound, integer_floor_bound, root_lpr_bound
+from .simplex import (
+    EQ,
+    GE,
+    INFEASIBLE,
+    ITERATION_LIMIT,
+    LE,
+    LPResult,
+    OPTIMAL,
+    SimplexSolver,
+    UNBOUNDED,
+    solve_lp,
+)
+from .standard_form import LPData, build_lp_data
+
+__all__ = [
+    "EQ",
+    "GE",
+    "INFEASIBLE",
+    "ITERATION_LIMIT",
+    "LE",
+    "LPData",
+    "LPRelaxationBound",
+    "LPResult",
+    "LowerBound",
+    "OPTIMAL",
+    "SimplexSolver",
+    "UNBOUNDED",
+    "build_lp_data",
+    "integer_floor_bound",
+    "root_lpr_bound",
+    "solve_lp",
+]

@@ -1,0 +1,5 @@
+"""MIS lower bounding (the classical bound the paper compares against)."""
+
+from .independent_set import MISBound, constraint_min_cost
+
+__all__ = ["MISBound", "constraint_min_cost"]

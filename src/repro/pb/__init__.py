@@ -1,0 +1,49 @@
+"""Pseudo-boolean data model: literals, constraints, objectives, instances.
+
+This package implements the formulation of paper Section 2: normalized
+linear pseudo-boolean constraints ``sum a_j l_j >= b`` with non-negative
+integer coefficients, non-negative integer variable costs, plus the OPB
+interchange format.
+"""
+
+from .builder import PBModel
+from .constraints import Constraint, ConstraintError, Term, normalize_terms
+from .instance import InfeasibleConstraintError, PBInstance
+from .literals import (
+    FALSE,
+    TRUE,
+    is_positive,
+    literal_to_str,
+    literal_value,
+    make_literal,
+    max_variable,
+    negate,
+    variable,
+)
+from .objective import Objective
+from .opb import OPBError, parse, parse_file, write, write_file
+
+__all__ = [
+    "Constraint",
+    "ConstraintError",
+    "FALSE",
+    "InfeasibleConstraintError",
+    "OPBError",
+    "Objective",
+    "PBInstance",
+    "PBModel",
+    "TRUE",
+    "Term",
+    "is_positive",
+    "literal_to_str",
+    "literal_value",
+    "make_literal",
+    "max_variable",
+    "negate",
+    "normalize_terms",
+    "parse",
+    "parse_file",
+    "variable",
+    "write",
+    "write_file",
+]

@@ -1,0 +1,177 @@
+"""Fluent model builder for pseudo-boolean optimization instances.
+
+:class:`PBModel` is the friendly front door of the library: it manages
+named variables, accepts constraints in ``>=`` / ``<=`` / ``==`` form, and
+normalizes arbitrary objective terms (negative costs, complemented
+literals) into the paper's non-negative-cost model -- introducing auxiliary
+complement variables where required -- before producing an immutable
+:class:`~repro.pb.instance.PBInstance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .constraints import Constraint, Term
+from .instance import PBInstance
+from .objective import Objective
+
+
+class PBModel:
+    """Mutable builder producing :class:`PBInstance` objects.
+
+    Example::
+
+        model = PBModel()
+        x, y, z = model.new_variables("x", "y", "z")
+        model.add_clause([x, y, z])
+        model.add_at_most([x, y], 1)
+        model.minimize([(3, x), (2, y), (5, z)])
+        instance = model.build()
+    """
+
+    def __init__(self):
+        self._num_variables = 0
+        self._names: Dict[int, str] = {}
+        self._index_of: Dict[str, int] = {}
+        self._constraints: List[Constraint] = []
+        self._objective_terms: List[Term] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def new_variable(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable; returns its positive literal."""
+        self._num_variables += 1
+        var = self._num_variables
+        if name is not None:
+            if name in self._index_of:
+                raise ValueError("variable name %r already used" % name)
+            self._names[var] = name
+            self._index_of[name] = var
+        return var
+
+    def new_variables(self, *names: str) -> Tuple[int, ...]:
+        """Allocate several named variables at once."""
+        return tuple(self.new_variable(name) for name in names)
+
+    def variable(self, name: str) -> int:
+        """Look up a previously created named variable."""
+        return self._index_of[name]
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    def _register(self, literals: Iterable[int]) -> None:
+        for lit in literals:
+            var = lit if lit > 0 else -lit
+            if var > self._num_variables:
+                self._num_variables = var
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def add_greater_equal(self, terms: Iterable[Term], rhs: int) -> Constraint:
+        """Add ``sum a_j l_j >= rhs``; returns the normalized constraint."""
+        terms = list(terms)
+        self._register(lit for _, lit in terms)
+        constraint = Constraint.greater_equal(terms, rhs)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_less_equal(self, terms: Iterable[Term], rhs: int) -> Constraint:
+        """Add ``sum a_j l_j <= rhs``."""
+        terms = list(terms)
+        self._register(lit for _, lit in terms)
+        constraint = Constraint.less_equal(terms, rhs)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_equal(self, terms: Iterable[Term], rhs: int) -> Tuple[Constraint, Constraint]:
+        """Add ``sum a_j l_j == rhs`` as a pair of inequalities."""
+        terms = list(terms)
+        return (
+            self.add_greater_equal(terms, rhs),
+            self.add_less_equal(terms, rhs),
+        )
+
+    def add_clause(self, literals: Iterable[int]) -> Constraint:
+        """At least one literal true."""
+        return self.add_greater_equal([(1, lit) for lit in literals], 1)
+
+    def add_at_least(self, literals: Iterable[int], count: int) -> Constraint:
+        return self.add_greater_equal([(1, lit) for lit in literals], count)
+
+    def add_at_most(self, literals: Iterable[int], count: int) -> Constraint:
+        return self.add_less_equal([(1, lit) for lit in literals], count)
+
+    def add_exactly(self, literals: Iterable[int], count: int) -> Tuple[Constraint, Constraint]:
+        literals = list(literals)
+        return (
+            self.add_at_least(literals, count),
+            self.add_at_most(literals, count),
+        )
+
+    def add_implication(self, antecedent: int, consequent: int) -> Constraint:
+        """``antecedent -> consequent`` as the clause ``~a \\/ c``."""
+        return self.add_clause([-antecedent, consequent])
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def minimize(self, terms: Iterable[Term]) -> None:
+        """Set (accumulate) minimization terms ``(cost, literal)``.
+
+        Costs may be negative and literals complemented; :meth:`build`
+        normalizes, adding complement variables when a variable ends up
+        with net negative cost.
+        """
+        terms = list(terms)
+        self._register(lit for _, lit in terms)
+        self._objective_terms.extend(terms)
+
+    def maximize(self, terms: Iterable[Term]) -> None:
+        """Convenience: maximize ``sum`` == minimize the negation."""
+        self.minimize([(-cost, lit) for cost, lit in terms])
+
+    # ------------------------------------------------------------------
+    def build(self) -> PBInstance:
+        """Produce the immutable normalized instance."""
+        per_var: Dict[int, int] = {}
+        offset = 0
+        for cost, lit in self._objective_terms:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if cost == 0:
+                continue
+            if lit < 0:
+                offset += cost
+                cost, lit = -cost, -lit
+            per_var[lit] = per_var.get(lit, 0) + cost
+
+        costs: Dict[int, int] = {}
+        extra: List[Constraint] = []
+        for var, cost in sorted(per_var.items()):
+            if cost > 0:
+                costs[var] = cost
+            elif cost < 0:
+                # minimize -c*x == -c + c*(1-x): pay |c| when x = 0.  The
+                # paper's model only costs value 1, so introduce the
+                # complement variable z with z + x == 1 and cost |c| on z.
+                offset += cost
+                complement = self.new_variable()
+                base = self._names.get(var)
+                if base is not None:
+                    self._names[complement] = "~" + base
+                extra.append(Constraint.clause([var, complement]))
+                extra.append(Constraint.clause([-var, -complement]))
+                costs[complement] = -cost
+
+        objective = Objective(costs, offset)
+        return PBInstance(
+            list(self._constraints) + extra,
+            objective,
+            num_variables=self._num_variables,
+            variable_names=self._names,
+        )

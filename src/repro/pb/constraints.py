@@ -1,0 +1,296 @@
+"""Normalized linear pseudo-boolean constraints.
+
+The paper (Section 2) works with constraints of the form::
+
+    sum_j a_ij * l_ij >= b_i        a_ij, b_i non-negative integers
+
+where each ``l_ij`` is a literal.  "Every pseudo-boolean formulation can be
+rewritten such that all coefficients a_ij and right-hand side b_i be
+non-negative"; :func:`normalize_terms` performs exactly that rewriting:
+
+* ``<=`` constraints are negated into ``>=`` form;
+* equalities split into a pair of inequalities (at :class:`~repro.pb.builder`
+  level);
+* negative coefficients flip the literal polarity (``a*x == a - a*~x``);
+* duplicate literals over one variable are merged, opposing literals cancel
+  against the right-hand side;
+* coefficients are *saturated* at the right-hand side
+  (``a_j := min(a_j, b)``), a sound strengthening used throughout the PB
+  literature.
+
+A normalized constraint classifies itself as a clause or a cardinality
+constraint exactly as the paper defines those terms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .literals import literal_value, negate, variable
+
+#: One addend of a constraint: (coefficient, literal).
+Term = Tuple[int, int]
+
+
+class ConstraintError(ValueError):
+    """Raised for malformed constraint input (zero literals, bad types)."""
+
+
+def normalize_terms(
+    terms: Iterable[Term], rhs: int, saturate: bool = True
+) -> Tuple[Tuple[Term, ...], int]:
+    """Rewrite ``sum a_j l_j >= rhs`` into normalized form.
+
+    Returns the new ``(terms, rhs)`` with positive integer coefficients,
+    at most one literal per variable, non-negative rhs, terms sorted by
+    variable index.  A tautological constraint normalizes to
+    ``((), 0)``; an unsatisfiable one keeps ``rhs > sum(coefficients)`` so
+    callers can detect it via :func:`is_unsatisfiable_terms`.
+    """
+    merged: Dict[int, int] = {}  # literal -> coefficient (may be negative)
+    new_rhs = rhs
+    for coef, lit in terms:
+        if not isinstance(coef, int) or isinstance(coef, bool):
+            raise ConstraintError("coefficients must be plain integers, got %r" % (coef,))
+        if not isinstance(lit, int) or isinstance(lit, bool) or lit == 0:
+            raise ConstraintError("literals must be non-zero integers, got %r" % (lit,))
+        if coef == 0:
+            continue
+        if coef < 0:
+            # a*l == a - a*~l  with a < 0:  move the constant to the rhs.
+            new_rhs -= coef  # rhs grows by |coef|
+            coef, lit = -coef, negate(lit)
+        merged[lit] = merged.get(lit, 0) + coef
+
+    # Merging may have produced both x and ~x entries: cancel the overlap.
+    result: Dict[int, Term] = {}
+    for lit, coef in merged.items():
+        if coef == 0:
+            continue
+        var = variable(lit)
+        if var in result:
+            other_coef, other_lit = result[var]
+            if other_lit == lit:
+                result[var] = (other_coef + coef, lit)
+            else:
+                # a*x + b*~x = min(a,b) + |a-b| * (the heavier literal)
+                common = min(other_coef, coef)
+                new_rhs -= common
+                remainder = other_coef - coef
+                if remainder == 0:
+                    del result[var]
+                elif remainder > 0:
+                    result[var] = (remainder, other_lit)
+                else:
+                    result[var] = (-remainder, lit)
+        else:
+            result[var] = (coef, lit)
+
+    if new_rhs <= 0:
+        return (), 0  # tautology
+
+    final: List[Term] = []
+    for var in sorted(result):
+        coef, lit = result[var]
+        if saturate and coef > new_rhs:
+            coef = new_rhs
+        final.append((coef, lit))
+    return tuple(final), new_rhs
+
+
+def is_unsatisfiable_terms(terms: Sequence[Term], rhs: int) -> bool:
+    """True when even setting every literal true cannot reach ``rhs``."""
+    return sum(coef for coef, _ in terms) < rhs
+
+
+class Constraint:
+    """An immutable, normalized pseudo-boolean ``>=`` constraint.
+
+    Instances should be built through :meth:`Constraint.greater_equal` /
+    :meth:`Constraint.less_equal` / :meth:`Constraint.clause` /
+    :meth:`Constraint.at_most` / :meth:`Constraint.at_least` rather than the
+    raw initializer, which expects already-normalized data.
+    """
+
+    __slots__ = ("terms", "rhs", "_coef_of")
+
+    def __init__(self, terms: Tuple[Term, ...], rhs: int):
+        self.terms = terms
+        self.rhs = rhs
+        self._coef_of: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def greater_equal(cls, terms: Iterable[Term], rhs: int) -> "Constraint":
+        """Normalize ``sum a_j l_j >= rhs`` into a constraint."""
+        norm_terms, norm_rhs = normalize_terms(terms, rhs)
+        return cls(norm_terms, norm_rhs)
+
+    @classmethod
+    def less_equal(cls, terms: Iterable[Term], rhs: int) -> "Constraint":
+        """Normalize ``sum a_j l_j <= rhs`` (negated into ``>=`` form)."""
+        flipped = [(-coef, lit) for coef, lit in terms]
+        return cls.greater_equal(flipped, -rhs)
+
+    @classmethod
+    def clause(cls, literals: Iterable[int]) -> "Constraint":
+        """Propositional clause: at least one of ``literals`` is true."""
+        return cls.greater_equal([(1, lit) for lit in literals], 1)
+
+    @classmethod
+    def at_least(cls, literals: Iterable[int], count: int) -> "Constraint":
+        """Cardinality constraint: at least ``count`` literals true."""
+        return cls.greater_equal([(1, lit) for lit in literals], count)
+
+    @classmethod
+    def at_most(cls, literals: Iterable[int], count: int) -> "Constraint":
+        """Cardinality constraint: at most ``count`` literals true."""
+        return cls.less_equal([(1, lit) for lit in literals], count)
+
+    # ------------------------------------------------------------------
+    # Classification (paper Section 2)
+    # ------------------------------------------------------------------
+    @property
+    def is_tautology(self) -> bool:
+        """True when the constraint is satisfied by every assignment."""
+        return self.rhs == 0
+
+    @property
+    def is_unsatisfiable(self) -> bool:
+        """True when no assignment satisfies the constraint."""
+        return is_unsatisfiable_terms(self.terms, self.rhs)
+
+    @property
+    def is_clause(self) -> bool:
+        """Any single true literal satisfies it (all ``a_j >= rhs``)."""
+        if self.rhs == 0:
+            return False
+        return all(coef >= self.rhs for coef, _ in self.terms)
+
+    @property
+    def is_cardinality(self) -> bool:
+        """All coefficients share one value ``k`` (paper: needs
+        ``ceil(rhs / k)`` true literals)."""
+        if not self.terms or self.rhs == 0:
+            return False
+        first = self.terms[0][0]
+        return all(coef == first for coef, _ in self.terms)
+
+    @property
+    def cardinality_threshold(self) -> int:
+        """For a cardinality constraint, the number of literals required."""
+        if not self.is_cardinality:
+            raise ValueError("not a cardinality constraint")
+        k = self.terms[0][0]
+        return -(-self.rhs // k)  # ceil division
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def literals(self) -> Tuple[int, ...]:
+        return tuple(lit for _, lit in self.terms)
+
+    @property
+    def variables(self) -> Tuple[int, ...]:
+        return tuple(variable(lit) for _, lit in self.terms)
+
+    def coefficient(self, literal: int) -> int:
+        """Coefficient of ``literal`` in this constraint (0 when absent)."""
+        if self._coef_of is None:
+            self._coef_of = {lit: coef for coef, lit in self.terms}
+        return self._coef_of.get(literal, 0)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def left_hand_side(self, assignment: Mapping[int, int]) -> int:
+        """Value of ``sum a_j l_j`` under a *complete* assignment."""
+        total = 0
+        for coef, lit in self.terms:
+            value = literal_value(lit, assignment)
+            if value is None:
+                raise ValueError("assignment does not cover variable %d" % variable(lit))
+            total += coef * value
+        return total
+
+    def is_satisfied_by(self, assignment: Mapping[int, int]) -> bool:
+        """Whether a complete assignment satisfies the constraint."""
+        return self.left_hand_side(assignment) >= self.rhs
+
+    def slack(self, assignment: Mapping[int, int]) -> int:
+        """``sum_{l_j not false} a_j - rhs`` under a *partial* assignment.
+
+        Negative slack means the constraint is already violated; an
+        unassigned literal with coefficient larger than the slack is
+        implied true (counter-based propagation, see
+        :mod:`repro.engine.propagation`).
+        """
+        supply = 0
+        for coef, lit in self.terms:
+            if literal_value(lit, assignment) != 0:
+                supply += coef
+        return supply - self.rhs
+
+    # ------------------------------------------------------------------
+    # Integer-space view (for LP / Lagrangian relaxation, Section 3)
+    # ------------------------------------------------------------------
+    def integer_form(self) -> Tuple[Dict[int, int], int]:
+        """Rewrite over variables: ``sum_j w_j x_j >= r`` with ``~x -> 1-x``.
+
+        Returns ``(weights_by_variable, r)``; weights may be negative.
+        """
+        weights: Dict[int, int] = {}
+        r = self.rhs
+        for coef, lit in self.terms:
+            var = variable(lit)
+            if lit > 0:
+                weights[var] = weights.get(var, 0) + coef
+            else:
+                weights[var] = weights.get(var, 0) - coef
+                r -= coef
+        return weights, r
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.terms == other.terms and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.terms, self.rhs))
+
+    def __repr__(self) -> str:
+        body = " + ".join(
+            "%d*%s" % (coef, ("x%d" % lit if lit > 0 else "~x%d" % -lit))
+            for coef, lit in self.terms
+        )
+        return "Constraint(%s >= %d)" % (body or "0", self.rhs)
+
+    def minimum_true_literals(self) -> int:
+        """Fewest literals that must be true in any satisfying assignment.
+
+        Greedy over descending coefficients; exact because taking the
+        largest coefficients first is optimal for counting.
+        """
+        if self.rhs == 0:
+            return 0
+        remaining = self.rhs
+        count = 0
+        for coef in sorted((c for c, _ in self.terms), reverse=True):
+            remaining -= coef
+            count += 1
+            if remaining <= 0:
+                return count
+        return math.inf  # type: ignore[return-value]  # unsatisfiable

@@ -1,0 +1,146 @@
+"""The linear pseudo-boolean optimization instance (paper eq. 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .constraints import Constraint
+from .objective import Objective
+
+
+class InfeasibleConstraintError(ValueError):
+    """A constraint is unsatisfiable on its own (``sum a_j < rhs``)."""
+
+
+class PBInstance:
+    """An instance ``P`` of linear pseudo-boolean optimization.
+
+    Holds a normalized objective and a list of normalized ``>=``
+    constraints over variables ``1..num_variables``.  Tautological
+    constraints are dropped at construction; individually unsatisfiable
+    constraints raise :class:`InfeasibleConstraintError` (the overall
+    instance may of course still be unsatisfiable through interaction).
+    """
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint],
+        objective: Optional[Objective] = None,
+        num_variables: Optional[int] = None,
+        variable_names: Optional[Mapping[int, str]] = None,
+    ):
+        kept: List[Constraint] = []
+        max_var = 0
+        for constraint in constraints:
+            if constraint.is_tautology:
+                continue
+            if constraint.is_unsatisfiable:
+                raise InfeasibleConstraintError(
+                    "constraint %r can never be satisfied" % (constraint,)
+                )
+            kept.append(constraint)
+            for var in constraint.variables:
+                if var > max_var:
+                    max_var = var
+        self.constraints: Tuple[Constraint, ...] = tuple(kept)
+        self.objective = objective if objective is not None else Objective({})
+        for var in self.objective.costs:
+            if var > max_var:
+                max_var = var
+        if num_variables is not None:
+            if num_variables < max_var:
+                raise ValueError(
+                    "num_variables=%d but variable %d appears" % (num_variables, max_var)
+                )
+            max_var = num_variables
+        self.num_variables = max_var
+        self.variable_names: Dict[int, str] = dict(variable_names or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def is_satisfaction(self) -> bool:
+        """True for pure PB-SAT instances (no cost function, paper [16])."""
+        return self.objective.is_constant
+
+    @property
+    def is_covering(self) -> bool:
+        """True when every constraint is a clause (binate covering, BCP)."""
+        return all(c.is_clause for c in self.constraints)
+
+    # ------------------------------------------------------------------
+    def check(self, assignment: Mapping[int, int]) -> bool:
+        """Whether a complete 0/1 assignment satisfies every constraint."""
+        return all(c.is_satisfied_by(assignment) for c in self.constraints)
+
+    def cost(self, assignment: Mapping[int, int]) -> int:
+        """Objective value of a complete assignment (offset included)."""
+        return self.objective.evaluate(assignment)
+
+    def variables(self) -> range:
+        """All variable indices, ``1..num_variables`` inclusive."""
+        return range(1, self.num_variables + 1)
+
+    # ------------------------------------------------------------------
+    def restricted(self, fixed: Mapping[int, int]) -> "PBInstance":
+        """A new instance with ``fixed`` variables substituted out.
+
+        Used by relaxation-based lower bounders that want the subproblem
+        "constraints not yet satisfied under the current assignments"
+        (paper Section 3).  Variable indices are preserved.
+        """
+        new_constraints: List[Constraint] = []
+        for constraint in self.constraints:
+            terms = []
+            rhs = constraint.rhs
+            for coef, lit in constraint.terms:
+                var = lit if lit > 0 else -lit
+                value = fixed.get(var)
+                if value is None:
+                    terms.append((coef, lit))
+                else:
+                    lit_true = (value == 1) == (lit > 0)
+                    if lit_true:
+                        rhs -= coef
+            if rhs <= 0:
+                continue
+            reduced = Constraint.greater_equal(terms, rhs)
+            if reduced.is_unsatisfiable:
+                raise InfeasibleConstraintError(
+                    "fixing makes %r unsatisfiable" % (constraint,)
+                )
+            new_constraints.append(reduced)
+        remaining_costs = {
+            var: cost for var, cost in self.objective.costs.items() if var not in fixed
+        }
+        return PBInstance(
+            new_constraints,
+            Objective(remaining_costs, self.objective.offset),
+            num_variables=self.num_variables,
+            variable_names=self.variable_names,
+        )
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, int]:
+        """Structural statistics (useful in reports and tests)."""
+        clauses = sum(1 for c in self.constraints if c.is_clause)
+        cards = sum(1 for c in self.constraints if c.is_cardinality and not c.is_clause)
+        return {
+            "variables": self.num_variables,
+            "constraints": self.num_constraints,
+            "clauses": clauses,
+            "cardinality": cards,
+            "general": self.num_constraints - clauses - cards,
+            "costed_variables": len(self.objective.costs),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return "PBInstance(%d vars, %d constraints, %d costed)" % (
+            stats["variables"],
+            stats["constraints"],
+            stats["costed_variables"],
+        )

@@ -1,0 +1,77 @@
+"""Literal representation for pseudo-boolean formulas.
+
+A variable is a positive integer index (1-based, DIMACS style).  A literal
+is a signed integer: ``+v`` denotes the variable ``x_v`` and ``-v`` denotes
+its complement ``~x_v``.  Using plain integers keeps the hot propagation
+loops free of attribute lookups.
+
+Truth-value convention (paper Section 2): literal ``x_v`` is *true* when
+``x_v = 1``; literal ``~x_v`` is *true* when ``x_v = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+#: Truth values of a variable inside an assignment map.
+TRUE = 1
+FALSE = 0
+
+
+def variable(literal: int) -> int:
+    """Return the (positive) variable index underlying ``literal``."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return literal if literal > 0 else -literal
+
+
+def negate(literal: int) -> int:
+    """Return the complement literal (``x -> ~x`` and vice versa)."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return -literal
+
+
+def is_positive(literal: int) -> bool:
+    """True when the literal is an uncomplemented variable ``x_v``."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return literal > 0
+
+
+def literal_value(literal: int, assignment: Mapping[int, int]) -> Optional[int]:
+    """Evaluate ``literal`` under a partial assignment of variables.
+
+    ``assignment`` maps variable index to 0/1.  Returns ``TRUE``/``FALSE``
+    for assigned variables and ``None`` when the variable is unassigned.
+    """
+    value = assignment.get(variable(literal))
+    if value is None:
+        return None
+    if literal > 0:
+        return TRUE if value == TRUE else FALSE
+    return TRUE if value == FALSE else FALSE
+
+
+def make_literal(var: int, positive: bool) -> int:
+    """Build the literal over variable ``var`` with the given polarity."""
+    if var <= 0:
+        raise ValueError("variable indices are positive integers")
+    return var if positive else -var
+
+
+def literal_to_str(literal: int, name_of: Optional[Mapping[int, str]] = None) -> str:
+    """Render a literal as ``x3`` / ``~x3`` (or with symbolic names)."""
+    var = variable(literal)
+    name = name_of[var] if name_of and var in name_of else "x%d" % var
+    return name if literal > 0 else "~" + name
+
+
+def max_variable(literals: Iterable[int]) -> int:
+    """Largest variable index appearing in ``literals`` (0 when empty)."""
+    result = 0
+    for lit in literals:
+        var = variable(lit)
+        if var > result:
+            result = var
+    return result

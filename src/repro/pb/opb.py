@@ -1,0 +1,182 @@
+"""Reader/writer for the OPB pseudo-boolean format.
+
+The OPB format is the interchange format of the pseudo-boolean evaluation
+(PB competition) and is accepted by PBS, Galena, bsolo and modern PB
+solvers.  Supported subset::
+
+    * comment lines start with '*'
+    min: +1 x1 -2 x2 +3 ~x4 ;
+    +1 x1 +4 x2 -2 x5 >= 2 ;
+    +1 x3 +1 ~x4 = 1 ;
+
+Terms are ``<integer> <literal>`` with literals ``xN`` / ``~xN``; relations
+are ``>=``, ``<=`` and ``=``; every statement ends with ``;``.  The
+objective line is optional (pure satisfaction instances omit it).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import List, Optional, TextIO, Tuple, Union
+
+from .builder import PBModel
+from .constraints import Term
+from .instance import PBInstance
+
+_TOKEN = re.compile(r"[+-]?\d+|~?x\d+|>=|<=|=|;|min:|max:")
+
+
+class OPBError(ValueError):
+    """Malformed OPB input."""
+
+
+_OFFSET_COMMENT = re.compile(r"^\*\s*offset=\s*(-?\d+)\s*$")
+
+
+def _tokenize(text: str) -> Tuple[List[str], int]:
+    tokens: List[str] = []
+    offset = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            match = _OFFSET_COMMENT.match(line)
+            if match:
+                offset = int(match.group(1))
+            continue
+        pos = 0
+        for match in _TOKEN.finditer(line):
+            between = line[pos : match.start()]
+            if between.strip():
+                raise OPBError("unexpected text %r in line %r" % (between.strip(), raw_line))
+            tokens.append(match.group(0))
+            pos = match.end()
+        if line[pos:].strip():
+            raise OPBError("unexpected text %r in line %r" % (line[pos:].strip(), raw_line))
+    return tokens, offset
+
+
+def _parse_literal(token: str) -> int:
+    negated = token.startswith("~")
+    var = int(token[2:]) if negated else int(token[1:])
+    if var <= 0:
+        raise OPBError("variable indices start at 1: %r" % token)
+    return -var if negated else var
+
+
+def parse(source: Union[str, TextIO]) -> PBInstance:
+    """Parse OPB text (or a readable file object) into a ``PBInstance``."""
+    text = source if isinstance(source, str) else source.read()
+    tokens, offset = _tokenize(text)
+    model = PBModel()
+    if offset:
+        model.minimize([(offset, 1), (offset, -1)])  # constant: c*x + c*~x
+    i = 0
+    n = len(tokens)
+    seen_objective = False
+    seen_constraint = False
+    while i < n:
+        token = tokens[i]
+        if token in ("min:", "max:"):
+            if seen_objective:
+                raise OPBError("multiple objective lines")
+            if seen_constraint:
+                raise OPBError("objective must precede constraints")
+            seen_objective = True
+            i += 1
+            terms, i = _parse_terms(tokens, i)
+            if i >= n or tokens[i] != ";":
+                raise OPBError("objective line missing ';'")
+            i += 1
+            if token == "min:":
+                model.minimize(terms)
+            else:
+                model.maximize(terms)
+        else:
+            seen_constraint = True
+            terms, i = _parse_terms(tokens, i)
+            if i >= n or tokens[i] not in (">=", "<=", "="):
+                raise OPBError("constraint missing relation operator")
+            relation = tokens[i]
+            i += 1
+            if i >= n:
+                raise OPBError("constraint missing right-hand side")
+            try:
+                rhs = int(tokens[i])
+            except ValueError:
+                raise OPBError("right-hand side must be an integer, got %r" % tokens[i])
+            i += 1
+            if i >= n or tokens[i] != ";":
+                raise OPBError("constraint missing ';'")
+            i += 1
+            if relation == ">=":
+                model.add_greater_equal(terms, rhs)
+            elif relation == "<=":
+                model.add_less_equal(terms, rhs)
+            else:
+                model.add_equal(terms, rhs)
+    return model.build()
+
+
+def _parse_terms(tokens: List[str], i: int) -> Tuple[List[Term], int]:
+    terms: List[Term] = []
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        if token in (">=", "<=", "=", ";"):
+            break
+        try:
+            coef = int(token)
+        except ValueError:
+            raise OPBError("expected coefficient, got %r" % token)
+        i += 1
+        if i >= n or not tokens[i].lstrip("~").startswith("x"):
+            raise OPBError("coefficient %d not followed by a literal" % coef)
+        terms.append((coef, _parse_literal(tokens[i])))
+        i += 1
+    return terms, i
+
+
+def parse_file(path: str) -> PBInstance:
+    """Parse an ``.opb`` file from disk."""
+    with open(path, "r") as handle:
+        return parse(handle)
+
+
+def write(instance: PBInstance, sink: Optional[TextIO] = None) -> str:
+    """Serialize an instance to OPB text; also writes to ``sink`` if given."""
+    out = io.StringIO()
+    stats = instance.statistics()
+    out.write(
+        "* #variable= %d #constraint= %d\n"
+        % (stats["variables"], stats["constraints"])
+    )
+    objective = instance.objective
+    if objective.offset:
+        # OPB has no constant objective term; preserve it in a comment
+        # that parse() understands.
+        out.write("* offset= %d\n" % objective.offset)
+    if not objective.is_constant:
+        parts = ["min:"]
+        for var in sorted(objective.costs):
+            parts.append("%+d x%d" % (objective.costs[var], var))
+        out.write(" ".join(parts) + " ;\n")
+    for constraint in instance.constraints:
+        parts = []
+        for coef, lit in constraint.terms:
+            if lit > 0:
+                parts.append("%+d x%d" % (coef, lit))
+            else:
+                parts.append("%+d ~x%d" % (coef, -lit))
+        parts.append(">= %d ;" % constraint.rhs)
+        out.write(" ".join(parts) + "\n")
+    text = out.getvalue()
+    if sink is not None:
+        sink.write(text)
+    return text
+
+
+def write_file(instance: PBInstance, path: str) -> None:
+    """Write an instance to an ``.opb`` file."""
+    with open(path, "w") as handle:
+        write(instance, handle)

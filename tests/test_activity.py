@@ -1,0 +1,54 @@
+"""Unit tests for VSIDS activity."""
+
+import pytest
+
+from repro.engine import VSIDSActivity
+
+
+class TestBumping:
+    def test_bump_raises_score(self):
+        act = VSIDSActivity(3)
+        act.bump(2)
+        assert act.activity(2) > act.activity(1)
+
+    def test_bump_all(self):
+        act = VSIDSActivity(3)
+        act.bump_all([1, 3])
+        assert act.activity(1) > 0 and act.activity(3) > 0
+        assert act.activity(2) == 0
+
+    def test_decay_weights_recent_conflicts(self):
+        act = VSIDSActivity(2, decay=0.5)
+        act.bump(1)
+        act.decay()
+        act.bump(2)
+        assert act.activity(2) > act.activity(1)
+
+    def test_rescale_preserves_order(self):
+        act = VSIDSActivity(2, decay=0.5)
+        act.bump(1)
+        for _ in range(1000):
+            act.decay()
+        act.bump(2)  # triggers rescale territory
+        assert act.activity(2) > act.activity(1)
+        assert act.activity(2) < float("inf")
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            VSIDSActivity(2, decay=0.0)
+        with pytest.raises(ValueError):
+            VSIDSActivity(2, decay=1.5)
+
+
+class TestBest:
+    def test_best_of_candidates(self):
+        act = VSIDSActivity(3)
+        act.bump(2)
+        assert act.best([1, 2, 3]) == 2
+
+    def test_best_empty(self):
+        assert VSIDSActivity(3).best([]) is None
+
+    def test_tie_prefers_first(self):
+        act = VSIDSActivity(3)
+        assert act.best([2, 3]) == 2

@@ -1,0 +1,225 @@
+"""Tests for the benchmark generators."""
+
+import pytest
+
+from repro.benchgen import (
+    generate_covering,
+    generate_planted,
+    generate_ptl_mapping,
+    generate_random,
+    generate_routing,
+    generate_scheduling,
+)
+from repro.core import OPTIMAL, SATISFIABLE, SolverOptions, solve
+
+
+class TestRouting:
+    def test_deterministic(self):
+        a = generate_routing(seed=7)
+        b = generate_routing(seed=7)
+        assert set(a.constraints) == set(b.constraints)
+        assert a.objective.costs == b.objective.costs
+
+    def test_different_seeds_differ(self):
+        a = generate_routing(seed=1)
+        b = generate_routing(seed=2)
+        assert (
+            set(a.constraints) != set(b.constraints)
+            or a.objective.costs != b.objective.costs
+        )
+
+    def test_structure(self):
+        instance = generate_routing(rows=3, cols=3, nets=3, seed=0)
+        stats = instance.statistics()
+        assert stats["costed_variables"] > 0
+        assert not instance.is_satisfaction
+
+    def test_solvable_and_costs_positive(self):
+        instance = generate_routing(rows=3, cols=3, nets=3, capacity=2, seed=1)
+        result = solve(instance, SolverOptions(lower_bound="lpr"))
+        assert result.status == OPTIMAL
+        assert result.best_cost > 0  # some wire must be used
+
+    def test_capacity_constrains(self):
+        # capacity 1 on a small grid with several nets should make the
+        # instance harder (more constraints) than unconstrained capacity
+        tight = generate_routing(rows=3, cols=3, nets=4, capacity=1, seed=3)
+        loose = generate_routing(rows=3, cols=3, nets=4, capacity=99, seed=3)
+        assert tight.num_constraints > loose.num_constraints
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_routing(rows=1, cols=5)
+        with pytest.raises(ValueError):
+            generate_routing(nets=0)
+
+    def test_congested_endpoints_cross_the_grid(self):
+        instance = generate_routing(
+            rows=5, cols=6, nets=4, congested=True, seed=8
+        )
+        # with left-to-right nets every route is at least a few edges, so
+        # every route variable has positive cost
+        assert all(cost > 0 for cost in instance.objective.costs.values())
+        result = solve(instance, SolverOptions(lower_bound="mis"))
+        assert result.solved
+
+    def test_congested_flag_changes_instances(self):
+        a = generate_routing(rows=5, cols=6, nets=4, congested=True, seed=8)
+        b = generate_routing(rows=5, cols=6, nets=4, congested=False, seed=8)
+        assert (
+            set(a.constraints) != set(b.constraints)
+            or a.objective.costs != b.objective.costs
+        )
+
+
+class TestCovering:
+    def test_deterministic(self):
+        a = generate_covering(seed=5)
+        b = generate_covering(seed=5)
+        assert set(a.constraints) == set(b.constraints)
+
+    def test_unate_is_pure_covering(self):
+        instance = generate_covering(binate=False, seed=2)
+        assert instance.is_covering
+
+    def test_binate_has_negative_literals(self):
+        instance = generate_covering(binate=True, seed=2)
+        has_negative = any(
+            lit < 0 for c in instance.constraints for lit in c.literals
+        )
+        assert has_negative
+
+    def test_solvable(self):
+        instance = generate_covering(minterms=8, implicants=6, seed=4)
+        result = solve(instance, SolverOptions(lower_bound="lpr"))
+        assert result.status == OPTIMAL
+        assert result.best_cost >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_covering(minterms=0)
+        with pytest.raises(ValueError):
+            generate_covering(density=0.0)
+
+
+class TestPTL:
+    def test_deterministic(self):
+        a = generate_ptl_mapping(seed=9)
+        b = generate_ptl_mapping(seed=9)
+        assert set(a.constraints) == set(b.constraints)
+
+    def test_always_satisfiable_all_cmos(self):
+        instance = generate_ptl_mapping(nodes=6, seed=1)
+        # all-CMOS with no buffers: cmos_i = 1, ptl_i = 0, buf = 0
+        assignment = {var: 0 for var in instance.variables()}
+        for var, name in instance.variable_names.items():
+            if name.startswith("cmos"):
+                assignment[var] = 1
+        assert instance.check(assignment)
+
+    def test_area_scale(self):
+        instance = generate_ptl_mapping(nodes=6, seed=1)
+        result = solve(instance, SolverOptions(lower_bound="lpr"))
+        assert result.status == OPTIMAL
+        assert result.best_cost >= 100  # area units, like 9symml's 4517
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ptl_mapping(nodes=1)
+
+
+class TestScheduling:
+    def test_satisfaction_instance(self):
+        instance = generate_scheduling(teams=4, seed=0)
+        assert instance.is_satisfaction
+
+    def test_round_robin_satisfiable(self):
+        instance = generate_scheduling(teams=4, seed=0)
+        result = solve(instance, SolverOptions(lower_bound="lpr"))
+        assert result.status == SATISFIABLE
+        # verify round-robin structure on the model
+        assert instance.check(result.best_assignment)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_scheduling(teams=5)
+        with pytest.raises(ValueError):
+            generate_scheduling(teams=2)
+
+    def test_variable_count(self):
+        instance = generate_scheduling(teams=4, tighten=False)
+        # C(4,2) * 3 rounds = 18 meeting variables
+        assert instance.num_variables == 18
+
+    def test_patterns_add_home_away_structure(self):
+        plain = generate_scheduling(teams=4, seed=0)
+        patterned = generate_scheduling(teams=4, patterns=True, seed=0)
+        assert patterned.num_variables > plain.num_variables
+        assert patterned.num_constraints > plain.num_constraints
+        names = set(patterned.variable_names.values())
+        assert any(name.startswith("h_") for name in names)
+
+    def test_patterns_satisfiable_and_consistent(self):
+        instance = generate_scheduling(teams=6, patterns=True, seed=2)
+        result = solve(instance, SolverOptions(lower_bound="plain"))
+        assert result.status == SATISFIABLE
+        model = result.best_assignment
+        # decode: every played match has exactly one home side
+        home = {}
+        meets = []
+        for var, name in instance.variable_names.items():
+            if name.startswith("h_"):
+                _, team, round_tag = name.split("_")
+                home[(int(team), int(round_tag[1:]))] = model[var]
+            elif name.startswith("m_") and model[var] == 1:
+                _, i, j, round_tag = name.split("_")
+                meets.append((int(i), int(j), int(round_tag[1:])))
+        assert meets
+        for i, j, t in meets:
+            assert home[(i, t)] + home[(j, t)] == 1
+
+    def test_patterns_no_three_consecutive(self):
+        instance = generate_scheduling(teams=6, patterns=True, seed=3)
+        result = solve(instance, SolverOptions(lower_bound="plain"))
+        model = result.best_assignment
+        rounds = 5
+        for team in range(6):
+            values = [
+                model[var]
+                for var, name in sorted(instance.variable_names.items())
+                if name.startswith("h_%d_" % team)
+            ]
+            assert len(values) == rounds
+            for t in range(rounds - 2):
+                window = values[t : t + 3]
+                assert 1 <= sum(window) <= 2
+
+
+class TestRandomGenerators:
+    def test_random_deterministic(self):
+        a = generate_random(seed=11)
+        b = generate_random(seed=11)
+        assert set(a.constraints) == set(b.constraints)
+
+    def test_random_shape(self):
+        instance = generate_random(num_variables=6, num_constraints=9, seed=3)
+        assert instance.num_constraints == 9
+        assert instance.num_variables == 6
+
+    def test_satisfaction_only_flag(self):
+        instance = generate_random(satisfaction_only=True, seed=3)
+        assert instance.is_satisfaction
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_witness_valid(self, seed):
+        instance, witness = generate_planted(seed=seed)
+        assert instance.check(witness)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planted_solvable(self, seed):
+        instance, witness = generate_planted(
+            num_variables=6, num_constraints=8, seed=seed
+        )
+        result = solve(instance, SolverOptions(lower_bound="mis"))
+        assert result.status == OPTIMAL
+        assert result.best_cost <= instance.cost(witness)

@@ -1,0 +1,67 @@
+"""Unit tests for branching heuristics (Section 5)."""
+
+from repro.core import Brancher
+from repro.engine import Trail, VSIDSActivity
+
+
+def make(n, lp_guided=True):
+    activity = VSIDSActivity(n)
+    return Brancher(activity, lp_guided=lp_guided), activity, Trail(n)
+
+
+class TestLPGuided:
+    def test_most_fractional_selected(self):
+        brancher, _, trail = make(3)
+        lp = {1: 0.9, 2: 0.55, 3: 0.1}
+        assert abs(brancher.pick(trail, lp)) == 2
+
+    def test_phase_rounds_lp_value(self):
+        brancher, _, trail = make(2)
+        assert brancher.pick(trail, {1: 0.6, 2: 0.0}) == 1
+        assert brancher.pick(trail, {1: 0.4, 2: 0.0}) == -1
+
+    def test_integer_lp_values_skipped(self):
+        brancher, activity, trail = make(3)
+        activity.bump(3)
+        lp = {1: 1.0, 2: 0.0}
+        # no fractional candidate: falls back to VSIDS (var 3), phase 0
+        assert brancher.pick(trail, lp) == -3
+
+    def test_vsids_breaks_half_ties(self):
+        brancher, activity, trail = make(3)
+        activity.bump(2)
+        lp = {1: 0.5, 2: 0.5, 3: 0.5}
+        assert abs(brancher.pick(trail, lp)) == 2
+
+    def test_assigned_variables_ignored(self):
+        brancher, _, trail = make(3)
+        trail.decide(2)
+        lp = {1: 0.8, 2: 0.5, 3: 0.0}
+        assert abs(brancher.pick(trail, lp)) == 1
+
+    def test_stale_lp_values_partial(self):
+        brancher, _, trail = make(3)
+        # LP knows nothing about var 3; still picks a fractional var
+        assert abs(brancher.pick(trail, {1: 0.45})) == 1
+
+
+class TestFallback:
+    def test_no_lp_uses_vsids(self):
+        brancher, activity, trail = make(3, lp_guided=False)
+        activity.bump(3)
+        assert brancher.pick(trail, {1: 0.5}) == -3
+
+    def test_empty_lp_values(self):
+        brancher, activity, trail = make(2)
+        activity.bump(1)
+        assert brancher.pick(trail, {}) == -1
+
+    def test_all_assigned_returns_none(self):
+        brancher, _, trail = make(2)
+        trail.decide(1)
+        trail.decide(2)
+        assert brancher.pick(trail, {}) is None
+
+    def test_default_phase_is_zero(self):
+        brancher, _, trail = make(1, lp_guided=False)
+        assert brancher.pick(trail, None) == -1

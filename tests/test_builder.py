@@ -1,0 +1,128 @@
+"""Unit tests for the PBModel builder."""
+
+import pytest
+
+from repro.pb import PBModel
+
+
+class TestVariables:
+    def test_sequential_allocation(self):
+        model = PBModel()
+        assert model.new_variable() == 1
+        assert model.new_variable() == 2
+
+    def test_named_lookup(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        assert model.variable("x") == x
+
+    def test_duplicate_name_rejected(self):
+        model = PBModel()
+        model.new_variable("x")
+        with pytest.raises(ValueError):
+            model.new_variable("x")
+
+    def test_new_variables_bulk(self):
+        model = PBModel()
+        a, b = model.new_variables("a", "b")
+        assert (a, b) == (1, 2)
+
+    def test_implicit_registration(self):
+        model = PBModel()
+        model.add_clause([5, -7])
+        assert model.num_variables == 7
+
+
+class TestConstraints:
+    def test_equality_splits(self):
+        model = PBModel()
+        x, y = model.new_variables("x", "y")
+        ge, le = model.add_equal([(1, x), (1, y)], 1)
+        assert ge.rhs == 1
+        instance = model.build()
+        assert instance.num_constraints == 2
+        assert instance.check({x: 1, y: 0})
+        assert not instance.check({x: 1, y: 1})
+        assert not instance.check({x: 0, y: 0})
+
+    def test_exactly(self):
+        model = PBModel()
+        lits = [model.new_variable() for _ in range(3)]
+        model.add_exactly(lits, 1)
+        instance = model.build()
+        assert instance.check({1: 1, 2: 0, 3: 0})
+        assert not instance.check({1: 1, 2: 1, 3: 0})
+
+    def test_implication(self):
+        model = PBModel()
+        a, b = model.new_variables("a", "b")
+        model.add_implication(a, b)
+        instance = model.build()
+        assert not instance.check({a: 1, b: 0})
+        assert instance.check({a: 1, b: 1})
+        assert instance.check({a: 0, b: 0})
+
+
+class TestObjective:
+    def test_minimize(self):
+        model = PBModel()
+        x, y = model.new_variables("x", "y")
+        model.add_clause([x, y])
+        model.minimize([(3, x), (1, y)])
+        instance = model.build()
+        assert instance.cost({x: 0, y: 1}) == 1
+
+    def test_maximize_negates(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.add_clause([x, -x])  # tautology, keeps x registered
+        model.maximize([(2, x)])
+        instance = model.build()
+        # maximize 2x == minimize -2x == offset -2 + 2*~x via complement var
+        assert instance.cost({1: 1, 2: 0}) == -2
+        assert instance.cost({1: 0, 2: 1}) == 0
+
+    def test_negative_cost_introduces_complement(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.minimize([(-4, x)])
+        instance = model.build()
+        assert instance.num_variables == 2
+        # complement channeling: exactly one of x, z true
+        assert instance.check({1: 1, 2: 0})
+        assert not instance.check({1: 1, 2: 1})
+        # cost: x=1 -> offset -4 + 0 = -4; x=0 -> -4 + 4 = 0
+        assert instance.cost({1: 1, 2: 0}) == -4
+        assert instance.cost({1: 0, 2: 1}) == 0
+
+    def test_negated_objective_literal(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.add_clause([x, -x])
+        model.minimize([(2, -x)])
+        instance = model.build()
+        # 2*~x: x=0 costs 2, x=1 costs 0; the builder introduced the
+        # complement variable 2 with z == ~x
+        assert instance.cost({x: 0, 2: 1}) == 2
+        assert instance.cost({x: 1, 2: 0}) == 0
+
+    def test_accumulation(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.minimize([(1, x)])
+        model.minimize([(2, x)])
+        instance = model.build()
+        assert instance.objective.costs == {x: 3}
+
+    def test_zero_literal_rejected_at_build(self):
+        model = PBModel()
+        model._objective_terms.append((1, 0))
+        with pytest.raises(ValueError):
+            model.build()
+
+    def test_complement_gets_derived_name(self):
+        model = PBModel()
+        model.new_variable("sel")
+        model.minimize([(-1, 1)])
+        instance = model.build()
+        assert instance.variable_names[2] == "~sel"

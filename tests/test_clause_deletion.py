@@ -1,0 +1,103 @@
+"""Tests for learned-constraint database reduction."""
+
+from repro.core import BsoloSolver, SolverOptions, OPTIMAL
+from repro.engine import Propagator
+from repro.pb import Constraint, Objective, PBInstance
+
+
+class TestRemoveLearned:
+    def test_removes_only_learned(self):
+        prop = Propagator(3)
+        prop.add_constraint(Constraint.clause([1, 2]))
+        prop.add_constraint(Constraint.clause([1, 2, 3]), learned=True)
+        removed = prop.reduce_learned(lambda stored: False)
+        assert removed == 1
+        assert len(prop.database) == 1
+        assert not prop.database.constraints[0].learned
+
+    def test_keep_predicate_respected(self):
+        prop = Propagator(4)
+        prop.add_constraint(Constraint.clause([1, 2]), learned=True)
+        prop.add_constraint(Constraint.clause([1, 2, 3, 4]), learned=True)
+        removed = prop.reduce_learned(lambda s: len(s.constraint) <= 2)
+        assert removed == 1
+        assert len(prop.database) == 1
+        assert len(prop.database.constraints[0].constraint) == 2
+
+    def test_occurrences_rebuilt(self):
+        prop = Propagator(3)
+        prop.add_constraint(Constraint.clause([1, 2]))
+        prop.add_constraint(Constraint.clause([2, 3]), learned=True)
+        prop.reduce_learned(lambda stored: False)
+        # propagation still works through the kept constraint
+        prop.decide(-1)
+        assert prop.propagate() is None
+        assert prop.trail.literal_is_true(2)
+        # and the removed one no longer propagates
+        assert len(prop.database.occurrences(3)) == 0
+
+    def test_slacks_stay_consistent(self):
+        prop = Propagator(3)
+        prop.add_constraint(Constraint.clause([1, 2]))
+        prop.add_constraint(Constraint.clause([2, 3]), learned=True)
+        prop.decide(-2)
+        prop.propagate()
+        prop.reduce_learned(lambda stored: False)
+        prop.database.check_slacks()
+
+    def test_num_learned(self):
+        prop = Propagator(2)
+        prop.add_constraint(Constraint.clause([1, 2]))
+        prop.add_constraint(Constraint.clause([-1, 2]), learned=True)
+        assert prop.database.num_learned() == 1
+
+    def test_noop_returns_zero(self):
+        prop = Propagator(2)
+        prop.add_constraint(Constraint.clause([1, 2]))
+        assert prop.reduce_learned(lambda stored: True) == 0
+
+
+class TestSolverIntegration:
+    def test_tiny_cap_still_correct(self):
+        """An aggressive cap (reduce constantly) must not change answers."""
+        instance = PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([2, 3]),
+                Constraint.clause([1, 3]),
+                Constraint.clause([-1, -2, -3]),
+            ],
+            Objective({1: 3, 2: 2, 3: 2}),
+        )
+        options = SolverOptions(lower_bound="plain", max_learned=1)
+        result = BsoloSolver(instance, options).solve()
+        assert result.status == OPTIMAL
+        assert result.best_cost == 4
+
+    def test_cap_against_brute_force(self):
+        import random
+
+        from repro.baselines import BruteForceSolver
+
+        rng = random.Random(99)
+        for _ in range(5):
+            n = rng.randint(4, 6)
+            constraints = []
+            for _ in range(rng.randint(3, 8)):
+                size = rng.randint(1, n)
+                variables = rng.sample(range(1, n + 1), size)
+                clause = Constraint.clause(
+                    [v if rng.random() < 0.5 else -v for v in variables]
+                )
+                constraints.append(clause)
+            instance = PBInstance(
+                constraints,
+                Objective({v: rng.randint(0, 4) for v in range(1, n + 1)}),
+                num_variables=n,
+            )
+            expected = BruteForceSolver(instance).solve()
+            options = SolverOptions(lower_bound="mis", max_learned=2)
+            result = BsoloSolver(instance, options).solve()
+            assert result.status == expected.status
+            if expected.best_cost is not None:
+                assert result.best_cost == expected.best_cost

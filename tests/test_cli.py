@@ -1,0 +1,80 @@
+"""Tests for the bsolo command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.pb import opb, parse
+
+
+OPT_INSTANCE = """\
+min: +3 x1 +2 x2 +2 x3 ;
++1 x1 +1 x2 >= 1 ;
++1 x2 +1 x3 >= 1 ;
++1 x1 +1 x3 >= 1 ;
+"""
+
+SAT_INSTANCE = "+1 x1 +1 x2 >= 1 ;\n"
+
+UNSAT_INSTANCE = """\
++1 x1 >= 1 ;
++1 ~x1 >= 1 ;
+"""
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    path = tmp_path / "opt.opb"
+    path.write_text(OPT_INSTANCE)
+    return str(path)
+
+
+class TestMain:
+    def test_optimization(self, opt_file, capsys):
+        exit_code = cli.main([opt_file])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s OPTIMAL" in out
+        assert "o 4" in out
+
+    def test_solver_selection(self, opt_file, capsys):
+        exit_code = cli.main([opt_file, "--solver", "galena"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "o 4" in out
+
+    def test_stats_flag(self, opt_file, capsys):
+        cli.main([opt_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "c decisions" in out
+
+    def test_model_flag(self, opt_file, capsys):
+        cli.main([opt_file, "--model"])
+        out = capsys.readouterr().out
+        assert "v " in out
+        model_line = [l for l in out.splitlines() if l.startswith("v ")][0]
+        # model mentions all three variables with polarity
+        assert "x1" in model_line and "x3" in model_line
+
+    def test_satisfaction(self, tmp_path, capsys):
+        path = tmp_path / "sat.opb"
+        path.write_text(SAT_INSTANCE)
+        exit_code = cli.main([str(path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s SATISFIABLE" in out
+
+    def test_unsat(self, tmp_path, capsys):
+        path = tmp_path / "unsat.opb"
+        path.write_text(UNSAT_INSTANCE)
+        exit_code = cli.main([str(path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s UNSATISFIABLE" in out
+
+    def test_bad_solver_rejected(self, opt_file):
+        with pytest.raises(SystemExit):
+            cli.main([opt_file, "--solver", "z3"])
+
+    def test_time_limit_accepted(self, opt_file, capsys):
+        exit_code = cli.main([opt_file, "--time-limit", "30"])
+        assert exit_code == 0

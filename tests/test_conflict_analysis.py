@@ -1,0 +1,115 @@
+"""Unit tests for first-UIP conflict analysis."""
+
+import pytest
+
+from repro.engine import Propagator, RootConflictError, analyze, highest_level
+from repro.pb import Constraint
+
+
+class TestHighestLevel:
+    def test_mixed_levels(self):
+        prop = Propagator(3)
+        prop.decide(1)
+        prop.decide(2)
+        prop.decide(3)
+        assert highest_level([-1, -3], prop.trail) == 3
+        assert highest_level([-1], prop.trail) == 1
+        assert highest_level([], prop.trail) == 0
+
+
+class TestAnalyze:
+    def test_simple_two_level_conflict(self):
+        # clauses: (~1 | 2), (~1 | ~2) -> deciding 1 conflicts; learned (~1)
+        prop = Propagator(2)
+        prop.add_constraint(Constraint.clause([-1, 2]))
+        prop.add_constraint(Constraint.clause([-1, -2]))
+        prop.decide(1)
+        conflict = prop.propagate()
+        assert conflict is not None
+        result = analyze(conflict.literals, prop.trail)
+        assert result.learned_literals == (-1,)
+        assert result.backtrack_level == 0
+        assert result.asserting_literal == -1
+
+    def test_uip_below_decision(self):
+        # Classic 1UIP: decide 1 (level 1), decide 2 (level 2);
+        # clauses: (~2 | 3), (~3 | 4), (~3 | ~1 | 5), (~4 | ~5 | ~1)
+        # Conflict involves 4, 5 implied from 3: UIP is 3.
+        prop = Propagator(5)
+        prop.add_constraint(Constraint.clause([-2, 3]))
+        prop.add_constraint(Constraint.clause([-3, 4]))
+        prop.add_constraint(Constraint.clause([-3, -1, 5]))
+        prop.add_constraint(Constraint.clause([-4, -5, -1]))
+        prop.decide(1)
+        assert prop.propagate() is None
+        prop.decide(2)
+        conflict = prop.propagate()
+        assert conflict is not None
+        result = analyze(conflict.literals, prop.trail)
+        assert set(result.learned_literals) == {-3, -1}
+        assert result.asserting_literal == -3
+        assert result.backtrack_level == 1
+
+    def test_non_chronological_jump(self):
+        # Decisions at levels 1..3; conflict depends only on levels 1 and 3
+        # -> backjump to level 1, skipping level 2.
+        prop = Propagator(4)
+        prop.add_constraint(Constraint.clause([-1, -3, 4]))
+        prop.add_constraint(Constraint.clause([-1, -3, -4]))
+        prop.decide(1)
+        assert prop.propagate() is None
+        prop.decide(2)  # irrelevant level
+        assert prop.propagate() is None
+        prop.decide(3)
+        conflict = prop.propagate()
+        assert conflict is not None
+        result = analyze(conflict.literals, prop.trail)
+        assert result.backtrack_level == 1
+        assert result.asserting_literal == -3
+        assert set(result.learned_literals) == {-3, -1}
+
+    def test_root_conflict_raises(self):
+        prop = Propagator(1)
+        prop.assume(1)
+        conflict = prop.add_constraint(Constraint.clause([-1]))
+        assert conflict is not None
+        with pytest.raises(RootConflictError):
+            analyze(conflict.literals, prop.trail)
+
+    def test_learned_clause_literals_all_false(self):
+        # 2*x1 + x2 + x3 >= 2, (~2|~4), (~1|~4): deciding 4 falsifies x1
+        # and x2, violating the PB constraint.
+        prop = Propagator(4)
+        prop.add_constraint(Constraint.greater_equal([(2, 1), (1, 2), (1, 3)], 2))
+        prop.add_constraint(Constraint.clause([-2, -4]))
+        prop.add_constraint(Constraint.clause([-1, -4]))
+        prop.decide(4)
+        conflict = prop.propagate()
+        assert conflict is not None
+        result = analyze(conflict.literals, prop.trail)
+        assert result.learned_literals == (-4,)
+        for lit in result.learned_literals:
+            assert prop.trail.literal_is_false(lit)
+
+    def test_level_zero_literals_dropped(self):
+        # Root-level fact ~3; conflict explanation mentioning 3 must not
+        # leak into the learned clause.
+        prop = Propagator(3)
+        prop.assume(-3)
+        prop.add_constraint(Constraint.clause([-1, 2, 3]))
+        prop.add_constraint(Constraint.clause([-1, -2, 3]))
+        prop.decide(1)
+        conflict = prop.propagate()
+        assert conflict is not None
+        result = analyze(conflict.literals, prop.trail)
+        assert result.learned_literals == (-1,)
+        assert 3 not in [abs(l) for l in result.learned_literals]
+
+    def test_seen_variables_reported(self):
+        prop = Propagator(2)
+        prop.add_constraint(Constraint.clause([-1, 2]))
+        prop.add_constraint(Constraint.clause([-1, -2]))
+        prop.decide(1)
+        conflict = prop.propagate()
+        result = analyze(conflict.literals, prop.trail)
+        assert set(result.seen_variables) >= {1, 2}

@@ -1,0 +1,199 @@
+"""Unit tests for constraint normalization and classification."""
+
+import math
+
+import pytest
+
+from repro.pb import Constraint, ConstraintError, normalize_terms
+
+
+class TestNormalizeTerms:
+    def test_already_normal(self):
+        terms, rhs = normalize_terms([(2, 1), (3, -2)], 3)
+        assert terms == ((2, 1), (3, -2))
+        assert rhs == 3
+
+    def test_negative_coefficient_flips_literal(self):
+        # -2*x1 >= -1   ==   2*~x1 >= 1
+        terms, rhs = normalize_terms([(-2, 1)], -1)
+        assert terms == ((1, -1),)  # saturated from 2 to rhs 1
+        assert rhs == 1
+
+    def test_negative_coefficient_unsaturated(self):
+        terms, rhs = normalize_terms([(-2, 1), (5, 2)], 0, saturate=False)
+        assert terms == ((2, -1), (5, 2))
+        assert rhs == 2
+
+    def test_duplicate_literals_merge(self):
+        terms, rhs = normalize_terms([(1, 1), (2, 1)], 2)
+        assert terms == ((2, 1),)  # 3 saturated to 2
+        assert rhs == 2
+
+    def test_opposing_literals_cancel(self):
+        # 3*x1 + 1*~x1 >= 2  ==  1 + 2*x1 >= 2  ==  2*x1 >= 1
+        terms, rhs = normalize_terms([(3, 1), (1, -1)], 2)
+        assert terms == ((1, 1),)  # saturated
+        assert rhs == 1
+
+    def test_opposing_literals_full_cancel(self):
+        terms, rhs = normalize_terms([(2, 1), (2, -1)], 2)
+        assert terms == ()
+        assert rhs == 0  # tautology
+
+    def test_zero_coefficient_dropped(self):
+        terms, rhs = normalize_terms([(0, 1), (1, 2)], 1)
+        assert terms == ((1, 2),)
+
+    def test_tautology_when_rhs_nonpositive(self):
+        terms, rhs = normalize_terms([(1, 1)], 0)
+        assert terms == () and rhs == 0
+        terms, rhs = normalize_terms([(1, 1)], -5)
+        assert terms == () and rhs == 0
+
+    def test_saturation(self):
+        terms, rhs = normalize_terms([(10, 1), (1, 2)], 3)
+        assert terms == ((3, 1), (1, 2))
+
+    def test_sorted_by_variable(self):
+        terms, _ = normalize_terms([(1, 5), (1, -2), (1, 3)], 1)
+        assert [abs(lit) for _, lit in terms] == [2, 3, 5]
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ConstraintError):
+            normalize_terms([(1, 0)], 1)
+
+    def test_rejects_non_integer_coefficient(self):
+        with pytest.raises(ConstraintError):
+            normalize_terms([(1.5, 1)], 1)
+
+    def test_rejects_bool_coefficient(self):
+        with pytest.raises(ConstraintError):
+            normalize_terms([(True, 1)], 1)
+
+
+class TestConstructors:
+    def test_less_equal_negation(self):
+        # x1 + x2 <= 1  ==  ~x1 + ~x2 >= 1
+        constraint = Constraint.less_equal([(1, 1), (1, 2)], 1)
+        assert constraint.terms == ((1, -1), (1, -2))
+        assert constraint.rhs == 1
+
+    def test_clause(self):
+        constraint = Constraint.clause([1, -2, 3])
+        assert constraint.is_clause
+        assert constraint.rhs == 1
+        assert set(constraint.literals) == {1, -2, 3}
+
+    def test_at_least_at_most(self):
+        at_least = Constraint.at_least([1, 2, 3], 2)
+        assert at_least.is_cardinality
+        assert at_least.cardinality_threshold == 2
+        at_most = Constraint.at_most([1, 2, 3], 1)
+        # at most 1 of 3  ==  at least 2 complements
+        assert at_most.terms == ((1, -1), (1, -2), (1, -3))
+        assert at_most.rhs == 2
+
+
+class TestClassification:
+    def test_clause_detection(self):
+        assert Constraint.greater_equal([(2, 1), (3, 2)], 2).is_clause
+        assert not Constraint.greater_equal([(1, 1), (3, 2)], 2).is_clause
+
+    def test_cardinality_detection(self):
+        card = Constraint.greater_equal([(2, 1), (2, 2), (2, 3)], 4)
+        assert card.is_cardinality
+        assert card.cardinality_threshold == 2
+        assert not Constraint.greater_equal([(1, 1), (2, 2)], 2).is_cardinality
+
+    def test_cardinality_threshold_requires_cardinality(self):
+        mixed = Constraint.greater_equal([(1, 1), (2, 2)], 2)
+        with pytest.raises(ValueError):
+            mixed.cardinality_threshold
+
+    def test_clause_is_cardinality(self):
+        assert Constraint.clause([1, 2]).is_cardinality
+
+    def test_unsatisfiable(self):
+        constraint = Constraint.greater_equal([(1, 1)], 5)
+        assert constraint.is_unsatisfiable
+        assert not constraint.is_tautology
+
+    def test_tautology(self):
+        constraint = Constraint.greater_equal([(1, 1)], 0)
+        assert constraint.is_tautology
+        assert not constraint.is_clause
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        constraint = Constraint.greater_equal([(2, 1), (3, -2)], 3)
+        assert constraint.is_satisfied_by({1: 0, 2: 0})  # ~x2 true -> 3
+        assert not constraint.is_satisfied_by({1: 1, 2: 1})  # only 2
+
+    def test_lhs_requires_complete_assignment(self):
+        constraint = Constraint.greater_equal([(2, 1), (3, -2)], 3)
+        with pytest.raises(ValueError):
+            constraint.left_hand_side({1: 1})
+
+    def test_slack_partial(self):
+        constraint = Constraint.greater_equal([(2, 1), (3, -2), (1, 3)], 3)
+        # nothing assigned: slack = 6 - 3
+        assert constraint.slack({}) == 3
+        # x2 = 1 makes ~x2 false: slack = 3 - 3
+        assert constraint.slack({2: 1}) == 0
+        # additionally x1 = 0: slack = 1 - 3
+        assert constraint.slack({2: 1, 1: 0}) == -2
+
+    def test_coefficient_lookup(self):
+        constraint = Constraint.greater_equal([(2, 1), (3, -2)], 3)
+        assert constraint.coefficient(1) == 2
+        assert constraint.coefficient(-2) == 3
+        assert constraint.coefficient(2) == 0
+        assert constraint.coefficient(9) == 0
+
+
+class TestIntegerForm:
+    def test_positive_literals(self):
+        weights, r = Constraint.greater_equal([(2, 1), (3, 2)], 3).integer_form()
+        assert weights == {1: 2, 2: 3}
+        assert r == 3
+
+    def test_negative_literal_substitution(self):
+        # 3*~x2 >= 2 saturates to 2*~x2 >= 2 == 2 - 2*x2 >= 2 == -2*x2 >= 0
+        weights, r = Constraint.greater_equal([(3, -2)], 2).integer_form()
+        assert weights == {2: -2}
+        assert r == 0
+
+    def test_negative_literal_unsaturated(self):
+        # 3*~x2 + 5*x1 >= 4: x1 saturates to 4, giving
+        # 4*x1 + 3 - 3*x2 >= 4  ==  4*x1 - 3*x2 >= 1
+        weights, r = Constraint.greater_equal([(3, -2), (5, 1)], 4).integer_form()
+        assert weights == {1: 4, 2: -3}
+        assert r == 1
+
+
+class TestMisc:
+    def test_equality_and_hash(self):
+        a = Constraint.greater_equal([(1, 1), (1, 2)], 1)
+        b = Constraint.clause([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Constraint.clause([1, 3])
+
+    def test_repr_mentions_terms(self):
+        text = repr(Constraint.greater_equal([(2, 1), (1, -3)], 2))
+        assert "x1" in text and "~x3" in text and ">= 2" in text
+
+    def test_len_and_iter(self):
+        constraint = Constraint.clause([1, 2, 3])
+        assert len(constraint) == 3
+        assert list(constraint) == [(1, 1), (1, 2), (1, 3)]
+
+    def test_minimum_true_literals(self):
+        constraint = Constraint.greater_equal([(3, 1), (2, 2), (1, 3)], 4, )
+        assert constraint.minimum_true_literals() == 2
+        assert Constraint.clause([1, 2]).minimum_true_literals() == 1
+
+    def test_minimum_true_literals_unsat(self):
+        constraint = Constraint(((1, 1),), 5)  # bypass normalization
+        assert constraint.minimum_true_literals() == math.inf

@@ -1,0 +1,198 @@
+"""Tests for the covering-matrix reductions."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import BruteForceSolver
+from repro.core import BsoloSolver, SolverOptions, OPTIMAL, UNSATISFIABLE, solve
+from repro.covering import reduce_covering
+from repro.pb import Constraint, Objective, PBInstance
+
+
+class TestRules:
+    def test_requires_covering(self):
+        instance = PBInstance([Constraint.greater_equal([(2, 1), (1, 2)], 2)])
+        with pytest.raises(ValueError):
+            reduce_covering(instance)
+
+    def test_essential_unit_clause(self):
+        instance = PBInstance(
+            [Constraint.clause([1]), Constraint.clause([1, 2])],
+            Objective({1: 3, 2: 1}),
+        )
+        result = reduce_covering(instance)
+        assert result.forced.get(1) == 1
+        assert not result.conflict
+
+    def test_unit_propagation_chain(self):
+        # (1), (~1 | 2): forcing 1 shrinks the second clause to (2)
+        instance = PBInstance(
+            [Constraint.clause([1]), Constraint.clause([-1, 2])],
+            Objective({1: 1, 2: 1}),
+        )
+        result = reduce_covering(instance)
+        assert result.forced == {1: 1, 2: 1}
+
+    def test_complementary_units_conflict(self):
+        instance = PBInstance([Constraint.clause([1]), Constraint.clause([-1])])
+        result = reduce_covering(instance)
+        assert result.conflict
+
+    def test_subsumption(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2]), Constraint.clause([1, 2, 3])],
+            Objective({1: 1, 2: 1, 3: 1}),
+        )
+        result = reduce_covering(instance)
+        assert 1 in result.dropped_indices  # the wider clause
+        assert 0 not in result.dropped_indices
+
+    def test_duplicate_clauses_dropped(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2]), Constraint.clause([2, 1]), Constraint.clause([3, 1])],
+            Objective({1: 1, 2: 1, 3: 1}),
+        )
+        result = reduce_covering(instance)
+        assert len(result.dropped_indices) == 1
+
+    def test_pure_negative_forced_zero(self):
+        instance = PBInstance(
+            [Constraint.clause([-1, 2]), Constraint.clause([2, 3])],
+            Objective({1: 5, 2: 1, 3: 1}),
+        )
+        result = reduce_covering(instance)
+        assert result.forced.get(1) == 0
+
+    def test_pure_positive_zero_cost_forced_one(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({2: 9})
+        )
+        result = reduce_covering(instance)
+        # var 1 occurs only positively with zero cost -> 1 (and then the
+        # clause is satisfied, leaving var 2 free)
+        assert result.forced.get(1) == 1
+
+    def test_dominance_then_unit_cascade(self):
+        # costed pure-positive vars are not forced by the polarity rule,
+        # but column dominance eliminates the pricier one and the unit
+        # rule then picks the survivor
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 3, 2: 9})
+        )
+        result = reduce_covering(instance)
+        assert result.forced == {1: 1, 2: 0}
+
+    def test_column_dominance(self):
+        # j=1 covers rows {0,1}; k=2 covers {0}; cost 1 <= cost 2 -> drop 2
+        instance = PBInstance(
+            [Constraint.clause([1, 2]), Constraint.clause([1, 3])],
+            Objective({1: 2, 2: 5, 3: 5}),
+        )
+        result = reduce_covering(instance)
+        assert result.forced.get(2) == 0
+
+    def test_dominance_cost_tie_keeps_lower_index(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 3, 2: 3})
+        )
+        result = reduce_covering(instance)
+        # identical columns with equal cost: index 2 eliminated, not 1
+        assert result.forced.get(2) == 0
+        assert result.forced.get(1) != 0
+
+    def test_forced_literals_property(self):
+        instance = PBInstance(
+            [Constraint.clause([1]), Constraint.clause([-2, 1])],
+            Objective({1: 0, 2: 4}),
+        )
+        result = reduce_covering(instance)
+        lits = result.forced_literals
+        assert 1 in lits
+
+
+class TestOptimalityPreservation:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_reduction_preserves_optimum(self, seed):
+        import random
+
+        rng = random.Random(seed * 7 + 1)
+        n = rng.randint(3, 6)
+        constraints = []
+        for _ in range(rng.randint(2, 8)):
+            size = rng.randint(1, n)
+            variables = rng.sample(range(1, n + 1), size)
+            constraints.append(
+                Constraint.clause(
+                    [v if rng.random() < 0.7 else -v for v in variables]
+                )
+            )
+        instance = PBInstance(
+            constraints,
+            Objective({v: rng.randint(0, 5) for v in range(1, n + 1)}),
+            num_variables=n,
+        )
+        expected = BruteForceSolver(instance).solve()
+        result = reduce_covering(instance)
+        if expected.status == UNSATISFIABLE:
+            # conflict detection is allowed but not required here
+            return
+        if result.conflict:
+            assert expected.status == UNSATISFIABLE
+            return
+        # exhaustive check: an optimal solution consistent with the
+        # forced assignments exists
+        best = None
+        for bits in itertools.product((0, 1), repeat=n):
+            assignment = {v: bits[v - 1] for v in range(1, n + 1)}
+            if any(assignment[v] != val for v, val in result.forced.items()):
+                continue
+            if instance.check(assignment):
+                cost = instance.cost(assignment)
+                best = cost if best is None else min(best, cost)
+        assert best == expected.best_cost
+
+
+class TestSolverIntegration:
+    def test_solver_with_reductions_matches_without(self):
+        instance = PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([1, 2, 3]),
+                Constraint.clause([-3, 4]),
+                Constraint.clause([2, 4]),
+            ],
+            Objective({1: 2, 2: 3, 3: 1, 4: 2}),
+        )
+        with_red = solve(instance, SolverOptions(covering_reductions=True))
+        without = solve(instance, SolverOptions(covering_reductions=False))
+        assert with_red.status == without.status == OPTIMAL
+        assert with_red.best_cost == without.best_cost
+        assert instance.check(with_red.best_assignment)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_covering_instances(self, seed):
+        import random
+
+        rng = random.Random(400 + seed)
+        n = rng.randint(4, 7)
+        constraints = []
+        for _ in range(rng.randint(3, 9)):
+            size = rng.randint(1, min(4, n))
+            variables = rng.sample(range(1, n + 1), size)
+            constraints.append(
+                Constraint.clause(
+                    [v if rng.random() < 0.6 else -v for v in variables]
+                )
+            )
+        instance = PBInstance(
+            constraints,
+            Objective({v: rng.randint(0, 5) for v in range(1, n + 1)}),
+            num_variables=n,
+        )
+        expected = BruteForceSolver(instance).solve()
+        result = solve(instance, SolverOptions(covering_reductions=True))
+        assert result.status == expected.status
+        if expected.best_cost is not None:
+            assert result.best_cost == expected.best_cost
+            assert instance.check(result.best_assignment)

@@ -1,0 +1,107 @@
+"""Unit tests for the Section 5 cut generator."""
+
+from repro.core import CutGenerator
+from repro.pb import Constraint, Objective, PBInstance
+
+
+def instance_with_cardinality():
+    """x1+x2+x3 >= 2 with costs 1..5 on five variables."""
+    return PBInstance(
+        [Constraint.at_least([1, 2, 3], 2), Constraint.clause([4, 5])],
+        Objective({1: 1, 2: 2, 3: 3, 4: 4, 5: 5}),
+    )
+
+
+class TestKnapsackCut:
+    def test_shape(self):
+        cut = CutGenerator(instance_with_cardinality()).knapsack_cut(8)
+        assert cut is not None
+        # sum c_j x_j <= 7  ==  sum c_j ~x_j >= sum(c) - 7 = 8
+        assert cut.rhs == 8
+        assert all(lit < 0 for lit in cut.literals)
+
+    def test_forces_improvement(self):
+        instance = instance_with_cardinality()
+        cut = CutGenerator(instance).knapsack_cut(8)
+        cheap = {1: 1, 2: 1, 3: 0, 4: 1, 5: 0}  # cost 7
+        expensive = {1: 1, 2: 1, 3: 1, 4: 1, 5: 0}  # cost 10
+        assert cut.is_satisfied_by(cheap)
+        assert not cut.is_satisfied_by(expensive)
+
+    def test_tautology_returns_none(self):
+        instance = instance_with_cardinality()
+        total = sum(instance.objective.costs.values())
+        assert CutGenerator(instance).knapsack_cut(total + 1) is None
+
+    def test_no_costs_returns_none(self):
+        instance = PBInstance([Constraint.clause([1])])
+        assert CutGenerator(instance).knapsack_cut(5) is None
+
+
+class TestCardinalityCuts:
+    def test_eq13_cut_emitted(self):
+        instance = instance_with_cardinality()
+        cuts, proven = CutGenerator(instance).cardinality_cuts(9)
+        assert not proven
+        # Both constraints are cardinality constraints (the clause (4|5)
+        # has threshold 1).  For {1,2,3} >= 2: V = 1 + 2 = 3 and the cut is
+        # c4 x4 + c5 x5 <= 9 - 1 - 3 = 5.
+        assert len(cuts) == 2
+        cut = next(c for c in cuts if 4 in {abs(l) for l in c.literals})
+        solution_ok = {4: 1, 5: 0, 1: 0, 2: 0, 3: 0}  # outside cost 4 <= 5
+        solution_bad = {4: 1, 5: 1, 1: 0, 2: 0, 3: 0}  # outside cost 9 > 5
+        assert cut.is_satisfied_by(solution_ok)
+        assert not cut.is_satisfied_by(solution_bad)
+
+    def test_optimum_proven_when_v_reaches_bound(self):
+        instance = instance_with_cardinality()
+        # upper = 3: V = 3 > upper - 1 = 2 -> no better solution exists
+        cuts, proven = CutGenerator(instance).cardinality_cuts(3)
+        assert proven
+
+    def test_negative_literals_excluded(self):
+        instance = PBInstance(
+            [Constraint.at_least([-1, 2], 1)], Objective({1: 1, 2: 2, 3: 5})
+        )
+        cuts, proven = CutGenerator(instance).cardinality_cuts(10)
+        assert cuts == [] and not proven
+
+    def test_disabled(self):
+        generator = CutGenerator(instance_with_cardinality(), cardinality_cuts=False)
+        cuts, proven = generator.cardinality_cuts(9)
+        assert cuts == [] and not proven
+
+    def test_tautological_cut_skipped(self):
+        instance = instance_with_cardinality()
+        # huge upper: budget exceeds total outside cost
+        cuts, proven = CutGenerator(instance).cardinality_cuts(100)
+        assert cuts == [] and not proven
+
+
+class TestCutsFor:
+    def test_combined(self):
+        instance = instance_with_cardinality()
+        cuts, proven = CutGenerator(instance).cuts_for(9)
+        assert not proven
+        assert len(cuts) == 3  # knapsack + two cardinality cuts
+
+    def test_cut_soundness_never_removes_better_solutions(self):
+        """Any solution strictly cheaper than the incumbent satisfies all
+        cuts (exhaustive check)."""
+        import itertools
+
+        instance = instance_with_cardinality()
+        upper = 9
+        cuts, proven = CutGenerator(instance).cuts_for(upper)
+        assert not proven
+        n = instance.num_variables
+        for bits in itertools.product((0, 1), repeat=n):
+            assignment = {v: bits[v - 1] for v in range(1, n + 1)}
+            if not instance.check(assignment):
+                continue
+            cost = instance.cost(assignment)
+            if cost < upper:
+                for cut in cuts:
+                    assert cut.is_satisfied_by(assignment), (
+                        "cut %r removed solution %r of cost %d" % (cut, assignment, cost)
+                    )

@@ -1,0 +1,149 @@
+"""Tests for optimal-solution enumeration and the hybrid bound."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import BruteForceSolver
+from repro.core import (
+    BsoloSolver,
+    SolverOptions,
+    OPTIMAL,
+    count_optimal,
+    enumerate_optimal,
+    solve,
+)
+from repro.pb import Constraint, Objective, PBInstance
+
+
+def all_optima_brute_force(instance):
+    best = None
+    solutions = []
+    n = instance.num_variables
+    for bits in itertools.product((0, 1), repeat=n):
+        assignment = {v: bits[v - 1] for v in range(1, n + 1)}
+        if not instance.check(assignment):
+            continue
+        cost = instance.cost(assignment)
+        if best is None or cost < best:
+            best = cost
+            solutions = [assignment]
+        elif cost == best:
+            solutions.append(assignment)
+    return best, solutions
+
+
+class TestEnumeration:
+    def test_single_optimum(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 1, 2: 2})
+        )
+        # optimum 1 achieved only by x1=1, x2=0
+        solutions = list(enumerate_optimal(instance))
+        assert solutions == [{1: 1, 2: 0}]
+
+    def test_multiple_optima(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 2, 2: 2})
+        )
+        solutions = list(enumerate_optimal(instance))
+        assert len(solutions) == 2
+        assert {1: 1, 2: 0} in solutions and {1: 0, 2: 1} in solutions
+
+    def test_limit_respected(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 2, 2: 2})
+        )
+        assert len(list(enumerate_optimal(instance, limit=1))) == 1
+
+    def test_unsat_yields_nothing(self):
+        instance = PBInstance(
+            [
+                Constraint.clause([1]),
+                Constraint.clause([-1]),
+            ]
+        )
+        assert list(enumerate_optimal(instance)) == []
+
+    def test_satisfaction_enumerates_models(self):
+        instance = PBInstance([Constraint.clause([1, 2])], num_variables=2)
+        models = list(enumerate_optimal(instance))
+        assert len(models) == 3  # all but {0,0}
+        for model in models:
+            assert instance.check(model)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        import random
+
+        rng = random.Random(600 + seed)
+        n = rng.randint(3, 5)
+        constraints = []
+        for _ in range(rng.randint(2, 5)):
+            variables = rng.sample(range(1, n + 1), rng.randint(1, n))
+            constraints.append(
+                Constraint.clause(
+                    [v if rng.random() < 0.6 else -v for v in variables]
+                )
+            )
+        instance = PBInstance(
+            constraints,
+            Objective({v: rng.randint(0, 3) for v in range(1, n + 1)}),
+            num_variables=n,
+        )
+        best, expected = all_optima_brute_force(instance)
+        found = list(enumerate_optimal(instance, limit=200))
+        if best is None:
+            assert found == []
+        else:
+            as_tuples = {tuple(sorted(s.items())) for s in found}
+            expected_tuples = {tuple(sorted(s.items())) for s in expected}
+            assert as_tuples == expected_tuples
+
+    def test_count_optimal(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2])], Objective({1: 2, 2: 2})
+        )
+        assert count_optimal(instance) == 2
+
+
+class TestHybridBound:
+    def test_hybrid_solves_covering(self):
+        instance = PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([2, 3]),
+                Constraint.clause([1, 3]),
+            ],
+            Objective({1: 3, 2: 2, 3: 2}),
+        )
+        result = solve(instance, SolverOptions(lower_bound="hybrid"))
+        assert result.status == OPTIMAL and result.best_cost == 4
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hybrid_against_brute_force(self, seed):
+        from repro.benchgen import generate_random
+
+        instance = generate_random(
+            num_variables=6, num_constraints=8, seed=1200 + seed
+        )
+        expected = BruteForceSolver(instance).solve()
+        result = solve(instance, SolverOptions(lower_bound="hybrid"))
+        assert result.status == expected.status
+        if expected.best_cost is not None:
+            assert result.best_cost == expected.best_cost
+
+    def test_hybrid_skips_lp_when_mis_prunes(self):
+        # two disjoint expensive clauses: MIS bound = optimum, so after the
+        # first solution every node prunes on MIS alone
+        instance = PBInstance(
+            [Constraint.clause([1, 2]), Constraint.clause([3, 4])],
+            Objective({1: 5, 2: 5, 3: 5, 4: 5}),
+        )
+        options = SolverOptions(
+            lower_bound="hybrid", covering_reductions=False, preprocess=False
+        )
+        solver = BsoloSolver(instance, options)
+        result = solver.solve()
+        assert result.status == OPTIMAL and result.best_cost == 10
+        assert solver._prefilter.num_calls > 0

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts import and their fast paths run."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "optimal" in result.stdout
+
+    def test_scheduling_sat(self):
+        result = run_example("scheduling_sat.py")
+        assert result.returncode == 0, result.stderr
+        assert "identical searches (footnote a): True" in result.stdout
+        assert "round 0" in result.stdout
+
+    def test_logic_covering(self):
+        result = run_example("logic_covering.py")
+        assert result.returncode == 0, result.stderr
+        assert "root lower bounds" in result.stdout
+
+    def test_all_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "routing_design.py",
+            "logic_covering.py",
+            "scheduling_sat.py",
+            "reproduce_table1.py",
+            "ablation_study.py",
+            "lagrangian_convergence.py",
+        }
+        present = {
+            name for name in os.listdir(EXAMPLES) if name.endswith(".py")
+        }
+        assert expected <= present

@@ -1,0 +1,115 @@
+"""Tests for the experiment harness (runner, table1, reporting)."""
+
+import pytest
+
+from repro.experiments import (
+    BSOLO_NAMES,
+    FAMILIES,
+    SOLVER_NAMES,
+    family_instances,
+    format_matrix,
+    format_table1,
+    generate_table1,
+    make_solver,
+    run_matrix,
+    run_one,
+    solved_counts,
+)
+from repro.pb import Constraint, Objective, PBInstance
+
+
+def tiny_instance():
+    return PBInstance(
+        [Constraint.clause([1, 2]), Constraint.clause([-1, 2])],
+        Objective({1: 2, 2: 1}),
+    )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", SOLVER_NAMES)
+    def test_all_solvers_constructible(self, name):
+        solver = make_solver(name, tiny_instance(), time_limit=5.0)
+        assert hasattr(solver, "solve")
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            make_solver("minisat", tiny_instance(), None)
+
+    @pytest.mark.parametrize("name", SOLVER_NAMES)
+    def test_all_solvers_agree_on_tiny(self, name):
+        record = run_one(name, tiny_instance(), "tiny", 5.0)
+        assert record.solved
+        assert record.result.best_cost == 1  # x2 alone
+
+
+class TestRunRecords:
+    def test_cell_formats(self):
+        record = run_one("bsolo-lpr", tiny_instance(), "tiny", 5.0)
+        cell = record.cell()
+        assert cell.replace(".", "").isdigit()
+
+    def test_matrix_and_counts(self):
+        instances = [tiny_instance(), tiny_instance()]
+        records = run_matrix(
+            instances, ["a", "b"], solver_names=["pbs", "bsolo-lpr"], time_limit=5.0
+        )
+        assert set(records) == {"pbs", "bsolo-lpr"}
+        assert len(records["pbs"]) == 2
+        counts = solved_counts(records)
+        assert counts == {"pbs": 2, "bsolo-lpr": 2}
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_family_instances(self, family):
+        instances, labels = family_instances(family, count=2, scale=0.4)
+        assert len(instances) == 2 and len(labels) == 2
+        assert all(label.startswith(family.split("-")[0][:3]) for label in labels)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            family_instances("espresso")
+
+    def test_acc_family_is_satisfaction(self):
+        instances, _ = family_instances("acc", count=1, scale=0.4)
+        assert instances[0].is_satisfaction
+
+    def test_scale_changes_size(self):
+        small, _ = family_instances("ptl", count=1, scale=0.3)
+        large, _ = family_instances("ptl", count=1, scale=0.8)
+        assert large[0].num_variables > small[0].num_variables
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # miniature matrix: tiny instances, 2 solvers would break the
+        # summary helpers, so use all bsolo + pbs at scale 0.3
+        return generate_table1(
+            time_limit=3.0,
+            count=1,
+            scale=0.3,
+            families=("grout", "acc"),
+        )
+
+    def test_structure(self, result):
+        assert set(result.per_family) == {"grout", "acc"}
+        totals = result.solved_by_solver()
+        assert set(totals) == set(SOLVER_NAMES)
+
+    def test_formatting(self, result):
+        text = format_table1(result)
+        assert "#Solved" in text
+        assert "grout-1" in text and "acc-1" in text
+        assert "SAT" in text  # acc rows are pure satisfaction
+
+    def test_solved_by_family(self, result):
+        by_family = result.solved_by_family("bsolo-lpr")
+        assert set(by_family) == {"grout", "acc"}
+
+    def test_acc_identical(self, result):
+        assert result.acc_rows_identical_for_bsolo()
+
+    def test_matrix_formatting_direct(self, result):
+        text = format_matrix(result.per_family["grout"], SOLVER_NAMES)
+        assert "Benchmark" in text

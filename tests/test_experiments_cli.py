@@ -1,0 +1,70 @@
+"""Tests for the experiments command-line entry point."""
+
+import os
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_flags(self):
+        args = build_parser().parse_args(["table1", "--fast"])
+        assert args.command == "table1" and args.fast
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bounds", "--family", "nonsense"])
+
+
+class TestCommands:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--family", "mcnc", "--count", "1",
+                     "--lgr-iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "LPR >= MIS" in out
+
+    def test_scaling(self, capsys):
+        assert main([
+            "scaling", "--family", "ptl", "--sizes", "5", "6",
+            "--solvers", "bsolo-mis", "--time-limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "size" in out
+
+    def test_scaling_crossover_line(self, capsys):
+        assert main([
+            "scaling", "--family", "ptl", "--sizes", "5",
+            "--solvers", "bsolo-plain", "bsolo-mis", "--time-limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_ablations(self, capsys):
+        assert main([
+            "ablations", "--family", "mcnc", "--count", "1",
+            "--scale", "0.2", "--time-limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "configuration" in out
+
+    def test_export(self, tmp_path, capsys):
+        directory = str(tmp_path / "suite")
+        assert main([
+            "export", "--directory", directory, "--count", "1", "--scale", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 4 instances" in out
+        assert os.path.exists(os.path.join(directory, "MANIFEST.txt"))
+
+    def test_table1_tiny(self, capsys):
+        assert main([
+            "table1", "--count", "1", "--time-limit", "3", "--scale", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#Solved" in out
+        assert "acc rows identical: True" in out

@@ -1,0 +1,65 @@
+"""Tests for the OPB suite exporter."""
+
+import os
+
+import pytest
+
+from repro.benchgen import (
+    export_suite,
+    export_table1_suite,
+    generate_covering,
+    generate_scheduling,
+)
+from repro.pb import parse_file
+
+
+class TestExportSuite:
+    def test_files_and_manifest(self, tmp_path):
+        directory = str(tmp_path)
+        instances = [generate_covering(minterms=6, implicants=4, seed=s) for s in (1, 2)]
+        written = export_suite(
+            directory, {"mcnc": (instances, ["mcnc-1", "mcnc-2"])}
+        )
+        assert sorted(written) == [
+            os.path.join("mcnc", "mcnc-1.opb"),
+            os.path.join("mcnc", "mcnc-2.opb"),
+        ]
+        manifest = open(os.path.join(directory, "MANIFEST.txt")).read()
+        assert "mcnc-1.opb" in manifest and "vars=" in manifest
+
+    def test_round_trip_through_files(self, tmp_path):
+        directory = str(tmp_path)
+        original = generate_covering(minterms=6, implicants=4, seed=3)
+        export_suite(directory, {"f": ([original], ["one"])})
+        reparsed = parse_file(os.path.join(directory, "f", "one.opb"))
+        assert set(reparsed.constraints) == set(original.constraints)
+        assert reparsed.objective.costs == original.objective.costs
+
+    def test_satisfaction_instances_export(self, tmp_path):
+        directory = str(tmp_path)
+        instance = generate_scheduling(teams=4, seed=0)
+        export_suite(directory, {"acc": ([instance], ["acc-1"])})
+        reparsed = parse_file(os.path.join(directory, "acc", "acc-1.opb"))
+        assert reparsed.is_satisfaction
+
+    def test_table1_export(self, tmp_path):
+        directory = str(tmp_path)
+        written = export_table1_suite(directory, count=1, scale=0.3)
+        assert len(written) == 4  # one per family
+        for relative in written:
+            path = os.path.join(directory, relative)
+            assert os.path.exists(path)
+            parse_file(path)  # must be valid OPB
+
+    def test_cli_runs_on_exported_file(self, tmp_path, capsys):
+        from repro import cli
+
+        directory = str(tmp_path)
+        instance = generate_covering(minterms=6, implicants=4, seed=4)
+        export_suite(directory, {"f": ([instance], ["one"])})
+        exit_code = cli.main(
+            [os.path.join(directory, "f", "one.opb"), "--solver", "bsolo-mis"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s OPTIMAL" in out

@@ -1,0 +1,108 @@
+"""Unit tests for PBInstance."""
+
+import pytest
+
+from repro.pb import Constraint, InfeasibleConstraintError, Objective, PBInstance
+
+
+def small_instance():
+    constraints = [
+        Constraint.clause([1, 2]),
+        Constraint.greater_equal([(2, -1), (1, 3)], 2),
+    ]
+    return PBInstance(constraints, Objective({1: 5, 2: 1, 3: 1}))
+
+
+class TestConstruction:
+    def test_basic(self):
+        instance = small_instance()
+        assert instance.num_variables == 3
+        assert instance.num_constraints == 2
+
+    def test_tautologies_dropped(self):
+        instance = PBInstance([Constraint.greater_equal([(1, 1)], 0)])
+        assert instance.num_constraints == 0
+
+    def test_unsatisfiable_constraint_rejected(self):
+        bad = Constraint.greater_equal([(1, 1)], 5, )
+        with pytest.raises(InfeasibleConstraintError):
+            PBInstance([bad])
+
+    def test_num_variables_override(self):
+        instance = PBInstance([Constraint.clause([1])], num_variables=10)
+        assert instance.num_variables == 10
+
+    def test_num_variables_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PBInstance([Constraint.clause([5])], num_variables=3)
+
+    def test_objective_extends_variable_range(self):
+        instance = PBInstance([Constraint.clause([1])], Objective({7: 2}))
+        assert instance.num_variables == 7
+
+    def test_default_objective_is_constant(self):
+        instance = PBInstance([Constraint.clause([1])])
+        assert instance.is_satisfaction
+
+
+class TestPredicates:
+    def test_is_covering(self):
+        covering = PBInstance([Constraint.clause([1, -2]), Constraint.clause([2, 3])])
+        assert covering.is_covering
+        general = PBInstance([Constraint.greater_equal([(1, 1), (2, 2)], 2)])
+        assert not general.is_covering
+
+    def test_check_and_cost(self):
+        instance = small_instance()
+        solution = {1: 0, 2: 1, 3: 0}
+        assert instance.check(solution)
+        assert instance.cost(solution) == 1
+        assert not instance.check({1: 1, 2: 0, 3: 0})
+
+    def test_variables_range(self):
+        assert list(small_instance().variables()) == [1, 2, 3]
+
+
+class TestRestricted:
+    def test_satisfied_constraints_removed(self):
+        instance = small_instance()
+        restricted = instance.restricted({2: 1, 1: 0})
+        # clause (x1 | x2) satisfied by x2=1; second constraint satisfied by
+        # ~x1 (coefficient 2 >= rhs 2)
+        assert restricted.num_constraints == 0
+        assert restricted.objective.costs == {3: 1}
+
+    def test_partial_reduction(self):
+        instance = small_instance()
+        # fixing x1=1 leaves 1*x3 >= 2 in the general constraint, which is
+        # detected as unsatisfiable immediately
+        with pytest.raises(InfeasibleConstraintError):
+            instance.restricted({1: 1})
+        # fixing x3=1 reduces the general constraint to 2*~x1 >= 1
+        restricted = instance.restricted({3: 1})
+        reduced = [c for c in restricted.constraints if -1 in c.literals]
+        assert reduced and reduced[0].rhs == 1
+
+    def test_reduction_keeps_indices(self):
+        instance = small_instance()
+        restricted = instance.restricted({1: 0})
+        assert restricted.num_variables == instance.num_variables
+        for constraint in restricted.constraints:
+            assert 1 not in constraint.variables
+
+
+class TestStatistics:
+    def test_counts(self):
+        constraints = [
+            Constraint.clause([1, 2]),
+            Constraint.at_least([1, 2, 3], 2),
+            Constraint.greater_equal([(1, 1), (2, 2)], 2),
+        ]
+        stats = PBInstance(constraints, Objective({1: 1})).statistics()
+        assert stats["clauses"] == 1
+        assert stats["cardinality"] == 1
+        assert stats["general"] == 1
+        assert stats["costed_variables"] == 1
+
+    def test_repr(self):
+        assert "3 vars" in repr(small_instance())

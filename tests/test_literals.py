@@ -1,0 +1,93 @@
+"""Unit tests for the literal helpers."""
+
+import pytest
+
+from repro.pb import literals
+
+
+class TestVariable:
+    def test_positive_literal(self):
+        assert literals.variable(7) == 7
+
+    def test_negative_literal(self):
+        assert literals.variable(-7) == 7
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            literals.variable(0)
+
+
+class TestNegate:
+    def test_involution(self):
+        assert literals.negate(literals.negate(5)) == 5
+        assert literals.negate(literals.negate(-5)) == -5
+
+    def test_flips_sign(self):
+        assert literals.negate(3) == -3
+        assert literals.negate(-3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            literals.negate(0)
+
+
+class TestIsPositive:
+    def test_polarity(self):
+        assert literals.is_positive(1)
+        assert not literals.is_positive(-1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            literals.is_positive(0)
+
+
+class TestLiteralValue:
+    def test_positive_literal_true(self):
+        assert literals.literal_value(2, {2: 1}) == literals.TRUE
+
+    def test_positive_literal_false(self):
+        assert literals.literal_value(2, {2: 0}) == literals.FALSE
+
+    def test_negative_literal_true_when_var_zero(self):
+        assert literals.literal_value(-2, {2: 0}) == literals.TRUE
+
+    def test_negative_literal_false_when_var_one(self):
+        assert literals.literal_value(-2, {2: 1}) == literals.FALSE
+
+    def test_unassigned_is_none(self):
+        assert literals.literal_value(2, {}) is None
+        assert literals.literal_value(-2, {3: 1}) is None
+
+
+class TestMakeLiteral:
+    def test_polarities(self):
+        assert literals.make_literal(4, True) == 4
+        assert literals.make_literal(4, False) == -4
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            literals.make_literal(0, True)
+        with pytest.raises(ValueError):
+            literals.make_literal(-1, False)
+
+
+class TestLiteralToStr:
+    def test_default_names(self):
+        assert literals.literal_to_str(3) == "x3"
+        assert literals.literal_to_str(-3) == "~x3"
+
+    def test_symbolic_names(self):
+        names = {3: "sel"}
+        assert literals.literal_to_str(3, names) == "sel"
+        assert literals.literal_to_str(-3, names) == "~sel"
+
+    def test_missing_name_falls_back(self):
+        assert literals.literal_to_str(4, {3: "sel"}) == "x4"
+
+
+class TestMaxVariable:
+    def test_empty(self):
+        assert literals.max_variable([]) == 0
+
+    def test_mixed_polarities(self):
+        assert literals.max_variable([3, -9, 5]) == 9

@@ -1,0 +1,99 @@
+"""Unit tests for objective normalization and evaluation."""
+
+import pytest
+
+from repro.pb import Objective
+
+
+class TestInit:
+    def test_drops_zero_costs(self):
+        objective = Objective({1: 0, 2: 3})
+        assert objective.costs == {2: 3}
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            Objective({1: -2})
+
+    def test_rejects_bad_variable(self):
+        with pytest.raises(ValueError):
+            Objective({0: 1})
+        with pytest.raises(ValueError):
+            Objective({-3: 1})
+
+    def test_rejects_non_integer_cost(self):
+        with pytest.raises(ValueError):
+            Objective({1: 1.5})
+
+
+class TestFromTerms:
+    def test_simple(self):
+        objective = Objective.from_terms([(3, 1), (2, 2)])
+        assert objective.costs == {1: 3, 2: 2}
+        assert objective.offset == 0
+
+    def test_negated_literal_folds_into_offset(self):
+        # 2*~x1 == 2 - 2*x1; combined with 5*x1 gives 2 + 3*x1
+        objective = Objective.from_terms([(5, 1), (2, -1)])
+        assert objective.costs == {1: 3}
+        assert objective.offset == 2
+
+    def test_net_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Objective.from_terms([(-3, 1)])
+
+    def test_full_cancellation(self):
+        objective = Objective.from_terms([(2, 1), (2, -1)])
+        assert objective.costs == {}
+        assert objective.offset == 2
+
+    def test_zero_cost_skipped(self):
+        assert Objective.from_terms([(0, 1)]).costs == {}
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Objective.from_terms([(1, 0)])
+
+
+class TestEvaluation:
+    def test_evaluate_with_offset(self):
+        objective = Objective({1: 3, 2: 2}, offset=10)
+        assert objective.evaluate({1: 1, 2: 0}) == 13
+        assert objective.evaluate({1: 1, 2: 1}) == 15
+
+    def test_evaluate_requires_coverage(self):
+        objective = Objective({1: 3})
+        with pytest.raises(ValueError):
+            objective.evaluate({2: 1})
+
+    def test_path_cost_partial(self):
+        objective = Objective({1: 3, 2: 2, 3: 7}, offset=10)
+        # offset excluded; only vars assigned 1 count
+        assert objective.path_cost({1: 1, 2: 0}) == 3
+        assert objective.path_cost({}) == 0
+        assert objective.path_cost({1: 1, 3: 1}) == 10
+
+    def test_cost_of(self):
+        objective = Objective({4: 9})
+        assert objective.cost_of(4) == 9
+        assert objective.cost_of(1) == 0
+
+
+class TestProperties:
+    def test_is_constant(self):
+        assert Objective({}).is_constant
+        assert not Objective({1: 1}).is_constant
+
+    def test_max_value(self):
+        assert Objective({1: 3, 2: 2}).max_value == 5
+        assert Objective({}).max_value == 0
+
+    def test_variables_sorted(self):
+        assert Objective({5: 1, 2: 1}).variables() == (2, 5)
+
+    def test_equality(self):
+        assert Objective({1: 2}, 3) == Objective({1: 2}, 3)
+        assert Objective({1: 2}) != Objective({1: 2}, 3)
+
+    def test_repr(self):
+        assert "x1" in repr(Objective({1: 2}))
+        assert "0" in repr(Objective({}))

@@ -1,0 +1,136 @@
+"""Unit tests for the OPB reader/writer."""
+
+import io
+
+import pytest
+
+from repro.pb import OPBError, PBModel, opb, parse, write
+
+
+SAMPLE = """\
+* #variable= 5 #constraint= 4
+* a comment
+min: +1 x1 +4 x2 +2 x5 ;
++1 x1 +4 x2 -2 x5 >= 2 ;
++1 x1 +1 ~x3 >= 1 ;
++2 x3 +1 x4 <= 2 ;
++1 x4 +1 x5 = 1 ;
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        instance = parse(SAMPLE)
+        assert instance.num_variables == 5
+        # <= becomes one constraint, = becomes two
+        assert instance.num_constraints == 5
+        assert instance.objective.costs == {1: 1, 2: 4, 5: 2}
+
+    def test_parse_from_file_object(self):
+        instance = parse(io.StringIO(SAMPLE))
+        assert instance.num_variables == 5
+
+    def test_no_objective(self):
+        instance = parse("+1 x1 +1 x2 >= 1 ;\n")
+        assert instance.is_satisfaction
+
+    def test_negative_coefficients_normalized(self):
+        instance = parse("-2 x1 -3 x2 >= -4 ;\n")
+        (constraint,) = instance.constraints
+        assert all(coef > 0 for coef, _ in constraint.terms)
+        assert constraint.rhs >= 0
+
+    def test_negated_literals(self):
+        instance = parse("+1 ~x1 +1 ~x2 >= 2 ;\n")
+        (constraint,) = instance.constraints
+        assert set(constraint.literals) == {-1, -2}
+
+    def test_objective_after_constraint_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 x1 >= 1 ;\nmin: +1 x1 ;\n")
+
+    def test_double_objective_rejected(self):
+        with pytest.raises(OPBError):
+            parse("min: +1 x1 ;\nmin: +1 x2 ;\n+1 x1 >= 1 ;\n")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 x1 >= 1\n")
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 x1 1 ;\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 y1 >= 1 ;\n")
+
+    def test_coefficient_without_literal_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 >= 1 ;\n")
+
+    def test_zero_variable_rejected(self):
+        with pytest.raises(OPBError):
+            parse("+1 x0 >= 1 ;\n")
+
+    def test_maximization_supported(self):
+        instance = parse("max: +1 x1 ;\n+1 x1 +1 x2 >= 1 ;\n")
+        # maximize x1 == minimize -x1; solution x1=1 must be cheapest
+        best = min(
+            (a for a in _all_assignments(instance.num_variables) if instance.check(a)),
+            key=instance.cost,
+        )
+        assert best[1] == 1
+
+
+def _all_assignments(n):
+    for bits in range(2 ** n):
+        yield {v: (bits >> (v - 1)) & 1 for v in range(1, n + 1)}
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        original = parse(SAMPLE)
+        text = write(original)
+        reparsed = parse(text)
+        assert reparsed.num_variables == original.num_variables
+        assert set(reparsed.constraints) == set(original.constraints)
+        assert reparsed.objective.costs == original.objective.costs
+
+    def test_write_to_sink(self):
+        sink = io.StringIO()
+        write(parse(SAMPLE), sink)
+        assert "min:" in sink.getvalue()
+
+    def test_write_satisfaction_has_no_objective(self):
+        text = write(parse("+1 x1 >= 1 ;\n"))
+        assert "min:" not in text
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "instance.opb")
+        original = parse(SAMPLE)
+        opb.write_file(original, path)
+        reparsed = opb.parse_file(path)
+        assert set(reparsed.constraints) == set(original.constraints)
+
+    def test_offset_round_trip(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.add_clause([x])
+        model.minimize([(2, x), (3, -x)])  # 3*~x folds into offset 3
+        original = model.build()
+        # 2x + 3~x normalizes to offset 2 + 1*~x (complement variable)
+        assert original.objective.offset == 2
+        reparsed = parse(write(original))
+        assert reparsed.objective.offset == original.objective.offset
+        assert reparsed.objective.costs == original.objective.costs
+
+    def test_negative_offset_round_trip(self):
+        model = PBModel()
+        x = model.new_variable("x")
+        model.add_clause([x, -x])
+        model.maximize([(2, x)])
+        original = model.build()
+        assert original.objective.offset < 0
+        reparsed = parse(write(original))
+        assert reparsed.objective.offset == original.objective.offset

@@ -1,0 +1,84 @@
+"""Unit tests for failed-literal probing."""
+
+from repro.core import probe_necessary_assignments
+from repro.engine import Propagator
+from repro.pb import Constraint
+
+
+def propagator_with(n, constraints):
+    prop = Propagator(n)
+    for constraint in constraints:
+        assert prop.add_constraint(constraint) is None
+    assert prop.propagate() is None
+    return prop
+
+
+class TestProbing:
+    def test_failed_literal_detected(self):
+        # x1 -> x2 and x1 -> ~x2: probing x1 fails, so ~x1 is necessary.
+        prop = propagator_with(
+            2, [Constraint.clause([-1, 2]), Constraint.clause([-1, -2])]
+        )
+        result = probe_necessary_assignments(prop)
+        assert not result.unsatisfiable
+        assert -1 in result.necessary_literals
+        assert prop.trail.value(1) == 0
+        assert prop.trail.level(1) == 0
+
+    def test_unsat_detected(self):
+        prop = propagator_with(
+            2,
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([1, -2]),
+                Constraint.clause([-1, 2]),
+                Constraint.clause([-1, -2]),
+            ],
+        )
+        result = probe_necessary_assignments(prop)
+        assert result.unsatisfiable
+
+    def test_nothing_to_find(self):
+        prop = propagator_with(2, [Constraint.clause([1, 2])])
+        result = probe_necessary_assignments(prop)
+        assert not result.unsatisfiable
+        assert result.necessary_literals == []
+        assert prop.trail.decision_level == 0
+        assert len(prop.trail) == 0
+
+    def test_cascading_rounds(self):
+        # forcing x1 = 1 (via failed ~x1) then x2 = 1 via (x2 | ~x1)... the
+        # second fact follows by plain propagation after the first probe.
+        prop = propagator_with(
+            3,
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([1, -2]),
+                Constraint.clause([-1, 3]),
+            ],
+        )
+        result = probe_necessary_assignments(prop)
+        assert not result.unsatisfiable
+        assert prop.trail.value(1) == 1
+        assert prop.trail.value(3) == 1
+
+    def test_probe_count_positive(self):
+        prop = propagator_with(2, [Constraint.clause([1, 2])])
+        result = probe_necessary_assignments(prop)
+        assert result.probes >= 2
+
+    def test_negative_polarity_failure(self):
+        # ~x1 fails (clauses force x1): x1 necessary.
+        prop = propagator_with(
+            2, [Constraint.clause([1, 2]), Constraint.clause([1, -2])]
+        )
+        result = probe_necessary_assignments(prop)
+        assert prop.trail.value(1) == 1
+
+    def test_pb_probing(self):
+        # 3*x1 + x2 + x3 >= 3 with probe ~x1: needs x2+x3 >= 3 impossible
+        prop = propagator_with(
+            3, [Constraint.greater_equal([(3, 1), (1, 2), (1, 3)], 3)]
+        )
+        result = probe_necessary_assignments(prop)
+        assert prop.trail.value(1) == 1

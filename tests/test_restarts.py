@@ -1,0 +1,113 @@
+"""Tests for restart scheduling and phase saving."""
+
+import pytest
+
+from repro.baselines import BruteForceSolver
+from repro.core import BsoloSolver, SolverOptions, OPTIMAL, UNSATISFIABLE
+from repro.engine import RestartScheduler, Trail, luby
+from repro.pb import Constraint, Objective, PBInstance
+
+
+class TestLuby:
+    def test_known_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_powers_appear(self):
+        values = {luby(i) for i in range(1, 128)}
+        assert {1, 2, 4, 8, 16, 32} <= values
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestRestartScheduler:
+    def test_threshold_progression(self):
+        scheduler = RestartScheduler(base_interval=2)
+        fired = []
+        for conflict in range(1, 13):
+            if scheduler.on_conflict():
+                fired.append(conflict)
+        # luby * 2: thresholds 2, 2, 4, 2, ... -> restarts at 2, 4, 8, 10
+        assert fired[0] == 2
+        assert scheduler.num_restarts == len(fired) >= 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            RestartScheduler(base_interval=0)
+
+
+class TestPhaseSaving:
+    def test_saved_phase_tracks_assignments(self):
+        trail = Trail(2)
+        assert trail.saved_phase(1) == 0
+        trail.decide(1)
+        assert trail.saved_phase(1) == 1
+        trail.backtrack(0)
+        assert trail.saved_phase(1) == 1  # survives backtracking
+        trail.decide(-1)
+        assert trail.saved_phase(1) == 0
+
+
+class TestSolverWithRestarts:
+    def covering(self):
+        return PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([2, 3]),
+                Constraint.clause([1, 3]),
+                Constraint.clause([-1, -2, -3]),
+            ],
+            Objective({1: 3, 2: 2, 3: 2}),
+        )
+
+    def test_restarts_preserve_answer(self):
+        options = SolverOptions(
+            lower_bound="mis", restarts=True, restart_interval=1
+        )
+        result = BsoloSolver(self.covering(), options).solve()
+        assert result.status == OPTIMAL and result.best_cost == 4
+
+    def test_phase_saving_preserves_answer(self):
+        options = SolverOptions(lower_bound="plain", phase_saving=True)
+        result = BsoloSolver(self.covering(), options).solve()
+        assert result.status == OPTIMAL and result.best_cost == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_with_both(self, seed):
+        import random
+
+        rng = random.Random(800 + seed)
+        n = rng.randint(4, 6)
+        constraints = []
+        for _ in range(rng.randint(3, 8)):
+            size = rng.randint(1, n)
+            variables = rng.sample(range(1, n + 1), size)
+            terms = [
+                (rng.randint(1, 3), v if rng.random() < 0.6 else -v)
+                for v in variables
+            ]
+            constraint = Constraint.greater_equal(
+                terms, rng.randint(1, sum(c for c, _ in terms))
+            )
+            if not constraint.is_tautology and not constraint.is_unsatisfiable:
+                constraints.append(constraint)
+        if not constraints:
+            pytest.skip("degenerate draw")
+        instance = PBInstance(
+            constraints,
+            Objective({v: rng.randint(0, 5) for v in range(1, n + 1)}),
+            num_variables=n,
+        )
+        expected = BruteForceSolver(instance).solve()
+        options = SolverOptions(
+            lower_bound="lpr",
+            restarts=True,
+            restart_interval=2,
+            phase_saving=True,
+        )
+        result = BsoloSolver(instance, options).solve()
+        assert result.status == expected.status
+        if expected.best_cost is not None:
+            assert result.best_cost == expected.best_cost

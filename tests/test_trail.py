@@ -1,0 +1,136 @@
+"""Unit tests for the assignment trail."""
+
+import pytest
+
+from repro.engine import Trail, UNASSIGNED
+
+
+class TestBasics:
+    def test_initially_unassigned(self):
+        trail = Trail(3)
+        assert trail.decision_level == 0
+        assert all(trail.value(v) == UNASSIGNED for v in (1, 2, 3))
+        assert not trail.is_assigned(1)
+        assert len(trail) == 0
+
+    def test_decide_opens_level(self):
+        trail = Trail(3)
+        trail.decide(2)
+        assert trail.decision_level == 1
+        assert trail.value(2) == 1
+        assert trail.level(2) == 1
+        assert trail.reason(2) is None
+        assert trail.decision_at(1) == 2
+
+    def test_negative_literal_decision(self):
+        trail = Trail(3)
+        trail.decide(-3)
+        assert trail.value(3) == 0
+        assert trail.literal_is_true(-3)
+        assert trail.literal_is_false(3)
+
+    def test_imply_keeps_level(self):
+        trail = Trail(3)
+        trail.decide(1)
+        trail.imply(-2, (-2, -1))
+        assert trail.decision_level == 1
+        assert trail.level(2) == 1
+        assert trail.reason(2) == (-2, -1)
+
+    def test_assume_at_root(self):
+        trail = Trail(3)
+        trail.assume(1)
+        assert trail.level(1) == 0
+        trail.decide(2)
+        with pytest.raises(ValueError):
+            trail.assume(3)
+
+    def test_double_assignment_rejected(self):
+        trail = Trail(3)
+        trail.decide(1)
+        with pytest.raises(ValueError):
+            trail.decide(-1)
+        with pytest.raises(ValueError):
+            trail.imply(1, (1,))
+
+
+class TestQueries:
+    def test_literal_truth(self):
+        trail = Trail(2)
+        trail.decide(1)
+        assert trail.literal_is_true(1)
+        assert trail.literal_is_false(-1)
+        assert not trail.literal_is_true(2)
+        assert not trail.literal_is_false(2)
+
+    def test_assignment_snapshot(self):
+        trail = Trail(3)
+        trail.decide(1)
+        trail.imply(-3, (-3, -1))
+        assert trail.assignment() == {1: 1, 3: 0}
+
+    def test_all_assigned(self):
+        trail = Trail(2)
+        trail.decide(1)
+        assert not trail.all_assigned()
+        trail.imply(2, (2, -1))
+        assert trail.all_assigned()
+
+    def test_unassigned_variables(self):
+        trail = Trail(3)
+        trail.decide(2)
+        assert trail.unassigned_variables() == [1, 3]
+
+    def test_decision_at_bad_level(self):
+        trail = Trail(2)
+        with pytest.raises(ValueError):
+            trail.decision_at(1)
+
+
+class TestBacktrack:
+    def test_undoes_assignments(self):
+        trail = Trail(4)
+        trail.decide(1)
+        trail.imply(2, (2, -1))
+        trail.decide(3)
+        trail.imply(4, (4, -3))
+        undone = trail.backtrack(1)
+        assert undone == [4, 3]
+        assert trail.decision_level == 1
+        assert trail.value(1) == 1 and trail.value(2) == 1
+        assert not trail.is_assigned(3) and not trail.is_assigned(4)
+
+    def test_backtrack_to_root(self):
+        trail = Trail(2)
+        trail.decide(1)
+        trail.decide(2)
+        trail.backtrack(0)
+        assert trail.decision_level == 0
+        assert len(trail) == 0
+
+    def test_backtrack_same_level_noop(self):
+        trail = Trail(2)
+        trail.decide(1)
+        assert trail.backtrack(1) == []
+        assert trail.value(1) == 1
+
+    def test_backtrack_preserves_root_assignments(self):
+        trail = Trail(2)
+        trail.assume(1)
+        trail.decide(2)
+        trail.backtrack(0)
+        assert trail.value(1) == 1
+
+    def test_invalid_target_rejected(self):
+        trail = Trail(2)
+        with pytest.raises(ValueError):
+            trail.backtrack(1)
+        with pytest.raises(ValueError):
+            trail.backtrack(-1)
+
+    def test_reassignment_after_backtrack(self):
+        trail = Trail(2)
+        trail.decide(1)
+        trail.backtrack(0)
+        trail.decide(-1)
+        assert trail.value(1) == 0
