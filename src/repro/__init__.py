@@ -22,6 +22,7 @@ with :func:`repro.experiments.generate_table1`.
 """
 
 from .core.options import SolverOptions
+from .core.stats import SolverStats
 from .core.result import (
     OPTIMAL,
     SATISFIABLE,
@@ -30,6 +31,15 @@ from .core.result import (
     UNSATISFIABLE,
 )
 from .core.solver import BsoloSolver, solve
+from .obs import (
+    JsonlTracer,
+    NullTracer,
+    PhaseTimer,
+    Tracer,
+    format_profile,
+    format_progress,
+    read_trace,
+)
 from .pb.builder import PBModel
 from .pb.constraints import Constraint
 from .pb.instance import PBInstance
@@ -41,18 +51,26 @@ __version__ = "1.0.0"
 __all__ = [
     "BsoloSolver",
     "Constraint",
+    "JsonlTracer",
+    "NullTracer",
     "OPTIMAL",
     "Objective",
     "PBInstance",
     "PBModel",
+    "PhaseTimer",
     "SATISFIABLE",
     "SolveResult",
     "SolverOptions",
+    "SolverStats",
+    "Tracer",
     "UNKNOWN",
     "UNSATISFIABLE",
     "__version__",
+    "format_profile",
+    "format_progress",
     "parse",
     "parse_file",
+    "read_trace",
     "solve",
     "write",
     "write_file",

@@ -22,21 +22,32 @@ from ..core.result import (
     UNSATISFIABLE,
 )
 from ..core.stats import SolverStats
+from ..obs.events import CutEvent, IncumbentEvent, ResultEvent, RunHeaderEvent
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 from ..pb.constraints import Constraint
 from ..pb.instance import PBInstance
 from .sat_search import STOPPED, UNSAT, DecisionSearch
 
 
 class LinearSearchSolver:
-    """SAT-based linear search (PBS-like comparator)."""
+    """SAT-based linear search (PBS-like comparator).
+
+    Supports the same observability hooks as the bsolo solver
+    (``tracer`` for JSONL event traces, ``profile`` for phase times) so
+    cross-solver comparisons measure with one instrument.
+    """
 
     name = "pbs-like"
 
     def __init__(self, instance: PBInstance, time_limit: Optional[float] = None,
-                 max_conflicts: Optional[int] = None):
+                 max_conflicts: Optional[int] = None, tracer=None,
+                 profile: bool = False):
         self._instance = instance
         self._time_limit = time_limit
         self._max_conflicts = max_conflicts
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if profile else NULL_TIMER
         self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
@@ -45,6 +56,15 @@ class LinearSearchSolver:
         instance = self._instance
         objective = instance.objective
         cut_generator = CutGenerator(instance, cardinality_cuts=False)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options={"strategy": "linear_search"},
+                )
+            )
 
         extra: List[Constraint] = []
         best_cost: Optional[int] = None
@@ -52,7 +72,9 @@ class LinearSearchSolver:
         status = None
         while True:
             # PBS restarts the SAT engine for every new cost bound.
-            search = DecisionSearch(instance.num_variables)
+            search = DecisionSearch(
+                instance.num_variables, tracer=tracer, timer=self._timer
+            )
             search.add_constraints(instance.constraints)
             search.add_constraints(extra)
             outcome, model = search.solve(
@@ -60,6 +82,7 @@ class LinearSearchSolver:
             )
             self.stats.decisions += search.decisions
             self.stats.logic_conflicts += search.conflicts
+            self.stats.propagations += search.propagations
             if outcome == STOPPED:
                 status = UNKNOWN
                 break
@@ -74,6 +97,14 @@ class LinearSearchSolver:
             self.stats.solutions_found += 1
             best_cost = cost
             best_assignment = model
+            if tracer.enabled:
+                tracer.emit(
+                    IncumbentEvent(
+                        cost=cost + objective.offset,
+                        decisions=self.stats.decisions,
+                        conflicts=self.stats.conflicts,
+                    )
+                )
             if objective.is_constant:
                 status = SATISFIABLE
                 break
@@ -84,13 +115,26 @@ class LinearSearchSolver:
                 break
             extra.append(cut)
             self.stats.cuts_added += 1
+            if tracer.enabled:
+                tracer.emit(CutEvent(size=len(cut)))
 
         self.stats.elapsed = time.monotonic() - start
+        self.stats.phase_times = self._timer.snapshot()
         reported = (
             best_cost + objective.offset if best_assignment is not None else None
         )
         if status == SATISFIABLE:
             reported = objective.offset
+        if tracer.enabled:
+            tracer.emit(
+                ResultEvent(
+                    status=status,
+                    cost=reported,
+                    decisions=self.stats.decisions,
+                    conflicts=self.stats.conflicts,
+                )
+            )
+            tracer.flush()
         return SolveResult(
             status,
             best_cost=reported,

@@ -15,6 +15,8 @@ from ..engine.activity import VSIDSActivity
 from ..engine.conflict import RootConflictError, analyze, highest_level
 from ..engine.pb_resolution import derive_resolvent
 from ..engine.propagation import Propagator
+from ..obs.events import ConflictEvent, DecisionEvent
+from ..obs.timers import NULL_TIMER
 from ..pb.constraints import Constraint
 
 SAT = "sat"
@@ -27,17 +29,28 @@ class DecisionSearch:
 
     With ``pb_learning`` the search additionally learns cutting-plane
     resolvents (Galena's scheme) next to first-UIP clauses.
+
+    ``tracer``/``timer`` hook the search into :mod:`repro.obs` so the
+    comparator solvers produce traces and phase times comparable with
+    bsolo's (same event kinds, same phase names).
     """
 
     def __init__(self, num_variables: int, decay: float = 0.95,
-                 pb_learning: bool = False):
-        self._propagator = Propagator(num_variables)
+                 pb_learning: bool = False, tracer=None, timer=None):
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._timer = timer if timer is not None else NULL_TIMER
+        self._propagator = Propagator(num_variables, tracer=self._tracer)
         self._activity = VSIDSActivity(num_variables, decay=decay)
         self._root_conflict = False
         self._pb_learning = pb_learning
         self.conflicts = 0
         self.decisions = 0
         self.pb_resolvents = 0
+
+    @property
+    def propagations(self) -> int:
+        """Implications discovered so far (engine counter)."""
+        return self._propagator.num_propagations
 
     # ------------------------------------------------------------------
     def add_constraint(self, constraint: Constraint) -> None:
@@ -62,6 +75,8 @@ class DecisionSearch:
         if self._root_conflict:
             return UNSAT, None
         propagator = self._propagator
+        timer = self._timer
+        tracer = self._tracer
         start_conflicts = self.conflicts
         loop = 0
         while True:
@@ -74,18 +89,37 @@ class DecisionSearch:
             ):
                 return STOPPED, None
 
+            timer.push("propagate")
             conflict = propagator.propagate()
+            timer.pop()
             if conflict is not None:
                 self.conflicts += 1
+                if tracer is not None:
+                    tracer.emit(
+                        ConflictEvent(
+                            type="logic", level=propagator.trail.decision_level
+                        )
+                    )
                 source = conflict.stored.constraint if conflict.stored else None
-                if not self._resolve(conflict.literals, source):
+                timer.push("analyze")
+                resolved = self._resolve(conflict.literals, source)
+                timer.pop()
+                if not resolved:
                     self._root_conflict = True
                     return UNSAT, None
                 continue
             if propagator.trail.all_assigned():
                 return SAT, propagator.model()
+            timer.push("branching")
             var = self._activity.best(propagator.trail.unassigned_variables())
+            timer.pop()
             self.decisions += 1
+            if tracer is not None:
+                tracer.emit(
+                    DecisionEvent(
+                        literal=-var, level=propagator.trail.decision_level + 1
+                    )
+                )
             propagator.decide(-var)  # phase 0 default
 
     # ------------------------------------------------------------------

@@ -2,16 +2,22 @@
 
 Solves an OPB file with any registered solver configuration and prints a
 result summary.  Mirrors the way the original bsolo prototype was driven
-in the paper's experiments.
+in the paper's experiments, plus the observability surface: ``--trace``
+writes a JSONL search-event trace, ``--profile`` prints the per-phase
+wall-time breakdown, ``--stats-json`` persists machine-readable stats,
+and ``--progress`` prints periodic ``c``-prefixed heartbeats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .experiments.runner import SOLVER_NAMES, run_one
+from .obs.report import format_profile
+from .obs.trace import JsonlTracer
 from .pb.opb import parse_file
 
 
@@ -43,6 +49,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="print search statistics",
     )
     parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="write status, cost and full stats as one JSON object",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help=(
+            "write a JSONL search-event trace (bsolo-* and pbs solvers; "
+            "one event per line, run-header first, result last)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-phase wall times and print the profile table",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a 'c progress' line every N conflicts (bsolo-* solvers)",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="conflicts between progress reports (default: 1000)",
+    )
+    parser.add_argument(
         "--model",
         action="store_true",
         help="print the best assignment as a literal list",
@@ -50,10 +88,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_stat(value: Any) -> str:
+    """Deterministic rendering: floats always get 6 decimals."""
+    if isinstance(value, float):
+        return "%.6f" % value
+    return str(value)
+
+
+def _print_stats(stats: Dict[str, Any], prefix: str = "") -> None:
+    """Flatten nested stat dicts into sorted ``c key value`` lines."""
+    for key, value in sorted(stats.items()):
+        name = prefix + key
+        if isinstance(value, dict):
+            _print_stats(value, prefix=name + ".")
+            continue
+        print("c %s %s" % (name, _format_stat(value)))
+
+
+def _print_progress(stats, best, lower) -> None:
+    print(
+        "c progress conflicts=%d decisions=%d best=%s lower=%s"
+        % (
+            stats.conflicts,
+            stats.decisions,
+            "-" if best is None else best,
+            "-" if lower is None else lower,
+        )
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.progress_interval < 1:
+        parser.error("--progress-interval must be >= 1")
     instance = parse_file(args.instance)
-    record = run_one(args.solver, instance, args.instance, args.time_limit)
+
+    tracer = None
+    if args.trace:
+        try:
+            tracer = JsonlTracer(args.trace)
+        except OSError as exc:
+            parser.error("cannot open --trace file: %s" % exc)
+        tracer.instance_label = args.instance
+    try:
+        record = run_one(
+            args.solver,
+            instance,
+            args.instance,
+            args.time_limit,
+            tracer=tracer,
+            profile=args.profile,
+            on_progress=_print_progress if args.progress else None,
+            progress_interval=args.progress_interval,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     result = record.result
 
     print("s %s" % result.status.upper())
@@ -66,9 +157,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
         print("v " + " ".join(literals))
     print("c time %.3fs" % record.seconds)
+    if args.profile:
+        for line in format_profile(
+            result.stats.phase_times, result.stats.elapsed
+        ).splitlines():
+            print("c " + line)
     if args.stats:
-        for key, value in sorted(result.stats.as_dict().items()):
-            print("c %s %s" % (key, value))
+        _print_stats(result.stats.as_dict())
+    if args.stats_json:
+        payload = {
+            "instance": args.instance,
+            "solver": args.solver,
+            "status": result.status,
+            "cost": result.best_cost,
+            "seconds": round(record.seconds, 6),
+            "stats": result.stats.as_dict(),
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0 if result.solved else 1
 
 

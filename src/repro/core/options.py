@@ -8,7 +8,7 @@ individually for the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 #: Lower bound method names (Table 1 column labels).
 PLAIN = "plain"
@@ -48,6 +48,10 @@ class SolverOptions:
         lgr_iterations: int = 60,
         lp_max_iterations: int = 3000,
         max_learned: Optional[int] = 20000,
+        tracer=None,
+        profile: bool = False,
+        on_progress=None,
+        progress_interval: int = 1000,
     ):
         if lower_bound not in _METHODS:
             raise ValueError(
@@ -55,6 +59,8 @@ class SolverOptions:
             )
         if lb_frequency < 1:
             raise ValueError("lb_frequency must be >= 1")
+        if progress_interval < 1:
+            raise ValueError("progress_interval must be >= 1")
         #: Which lower bound estimation procedure to run (Section 3).
         self.lower_bound = lower_bound
         #: Estimate the bound every k-th decision node (1 = every node).
@@ -109,6 +115,47 @@ class SolverOptions:
         #: Learned-clause cap; above it the oldest long clauses are
         #: forgotten (None = keep everything).
         self.max_learned = max_learned
+        #: Trace sink (:class:`repro.obs.trace.Tracer`); None = no
+        #: tracing, with zero per-event overhead (null-tracer path).
+        self.tracer = tracer
+        #: Collect per-phase wall times into ``stats.phase_times``.
+        self.profile = profile
+        #: Periodic callback ``(stats, best, lower) -> None`` fired every
+        #: ``progress_interval`` conflicts; ``best`` is the incumbent cost
+        #: (offset included, None before the first solution) and ``lower``
+        #: the most recent lower-bound estimate ``path + bound`` (None
+        #: before the first bound call).
+        self.on_progress = on_progress
+        self.progress_interval = progress_interval
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe scalar knobs, for trace run headers."""
+        return {
+            "lower_bound": self.lower_bound,
+            "lb_frequency": self.lb_frequency,
+            "bound_conflict_learning": self.bound_conflict_learning,
+            "upper_bound_cuts": self.upper_bound_cuts,
+            "cardinality_cuts": self.cardinality_cuts,
+            "lp_guided_branching": self.lp_guided_branching,
+            "lgr_alpha_refinement": self.lgr_alpha_refinement,
+            "preprocess": self.preprocess,
+            "probing_implications": self.probing_implications,
+            "covering_reductions": self.covering_reductions,
+            "restarts": self.restarts,
+            "restart_interval": self.restart_interval,
+            "phase_saving": self.phase_saving,
+            "pb_learning": self.pb_learning,
+            "time_limit": self.time_limit,
+            "max_conflicts": self.max_conflicts,
+            "max_decisions": self.max_decisions,
+            "vsids_decay": self.vsids_decay,
+            "lgr_iterations": self.lgr_iterations,
+            "lp_max_iterations": self.lp_max_iterations,
+            "max_learned": self.max_learned,
+            "profile": self.profile,
+            "progress_interval": self.progress_interval,
+        }
 
     # ------------------------------------------------------------------
     @classmethod

@@ -33,6 +33,20 @@ from ..engine.restarts import RestartScheduler
 from ..lagrangian.subgradient import LagrangianBound, SubgradientOptions
 from ..lp.relaxation import LowerBound, LPRelaxationBound
 from ..mis.independent_set import MISBound
+from ..obs.events import (
+    BackjumpEvent,
+    ConflictEvent,
+    CutEvent,
+    DecisionEvent,
+    IncumbentEvent,
+    LowerBoundEvent,
+    ProgressEvent,
+    RestartEvent,
+    ResultEvent,
+    RunHeaderEvent,
+)
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 from ..pb.constraints import Constraint
 from ..pb.instance import PBInstance
 from .bound_conflicts import (
@@ -67,7 +81,13 @@ class BsoloSolver:
         self._objective = instance.objective
         self.stats = SolverStats()
 
-        self._propagator = Propagator(instance.num_variables)
+        tracer = self._options.tracer
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if self._options.profile else NULL_TIMER
+        self._propagator = Propagator(
+            instance.num_variables,
+            tracer=self._tracer if self._tracer.enabled else None,
+        )
         self._activity = VSIDSActivity(
             instance.num_variables, decay=self._options.vsids_decay
         )
@@ -97,6 +117,11 @@ class BsoloSolver:
         self._deadline: Optional[float] = None
         self._node_counter = 0
         self._assumptions: List[int] = []
+        #: Most recent lower-bound estimate (path + bound), for progress.
+        self._last_lower: Optional[int] = None
+        #: Which bounder produced the last bound (trace attribution).
+        self._last_bound_method = self._options.lower_bound
+        self._next_progress = self._options.progress_interval
 
     # ------------------------------------------------------------------
     def _make_bounder(self):
@@ -131,17 +156,58 @@ class BsoloSolver:
         self._assumptions = list(assumptions or [])
         if self._options.time_limit is not None:
             self._deadline = start + self._options.time_limit
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options=self._options.describe(),
+                )
+            )
         try:
             result = self._search()
         finally:
             self.stats.elapsed = time.monotonic() - start
+            self.stats.phase_times = self._timer.snapshot()
+            self._collect_lb_stats()
+        if tracer.enabled:
+            tracer.emit(
+                ResultEvent(
+                    status=result.status,
+                    cost=result.best_cost,
+                    decisions=self.stats.decisions,
+                    conflicts=self.stats.conflicts,
+                )
+            )
+            tracer.flush()
         logger.debug("solve finished: %r (%s)", result, self.stats)
         return result
+
+    def _collect_lb_stats(self) -> None:
+        detail: Dict[str, Dict[str, float]] = {}
+        if self._prefilter is not None:
+            detail["mis_prefilter"] = self._prefilter.stats_dict()
+        if self._bounder is not None:
+            detail[self._bounder.name] = self._bounder.stats_dict()
+        self.stats.lb_stats = detail
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def _search(self) -> SolveResult:
+        self._timer.push("preprocess")
+        try:
+            early = self._setup_root()
+        finally:
+            self._timer.pop()
+        if early is not None:
+            return early
+        return self._main_loop()
+
+    def _setup_root(self) -> Optional[SolveResult]:
+        """Load constraints, assumptions and preprocessing; a returned
+        result means the search never starts (root conflict)."""
         propagator = self._propagator
         forced_literals: List[int] = []
         dropped_indices = set()
@@ -197,17 +263,39 @@ class BsoloSolver:
                 return self._finish()
             for clause in preprocess.implications:
                 propagator.add_constraint(clause)
+        return None
 
+    def _main_loop(self) -> SolveResult:
+        propagator = self._propagator
+        timer = self._timer
+        tracer = self._tracer
+        profiling = timer.enabled
         while True:
             if self._budget_exhausted():
                 return self._timeout()
 
+            if profiling:
+                timer.push("propagate")
             conflict = propagator.propagate()
+            if profiling:
+                timer.pop()
             if conflict is not None:
                 self.stats.logic_conflicts += 1
                 self.stats.propagations = propagator.num_propagations
+                if tracer.enabled:
+                    tracer.emit(
+                        ConflictEvent(
+                            type="logic", level=propagator.trail.decision_level
+                        )
+                    )
                 source = conflict.stored.constraint if conflict.stored else None
-                if not self._resolve(conflict.literals, source):
+                if profiling:
+                    timer.push("analyze")
+                resolved = self._resolve(conflict.literals, source)
+                if profiling:
+                    timer.pop()
+                self._maybe_progress()
+                if not resolved:
                     return self._finish()
                 self._maybe_reduce_learned()
                 if (
@@ -215,6 +303,9 @@ class BsoloSolver:
                     and self._restart_scheduler.on_conflict()
                     and propagator.trail.decision_level > 0
                 ):
+                    self.stats.restarts += 1
+                    if tracer.enabled:
+                        tracer.emit(RestartEvent(conflicts=self.stats.conflicts))
                     propagator.backtrack(0)
                 continue
 
@@ -226,12 +317,18 @@ class BsoloSolver:
 
             if self._bounder is not None and self._should_bound():
                 pruned, exhausted = self._apply_lower_bound()
+                if pruned:
+                    self._maybe_progress()
                 if exhausted:
                     return self._finish()
                 if pruned:
                     continue
 
+            if profiling:
+                timer.push("branching")
             literal = self._brancher.pick(propagator.trail, self._lp_values)
+            if profiling:
+                timer.pop()
             if literal is None:  # pragma: no cover - all_assigned handles this
                 return self._finish()
             self.stats.decisions += 1
@@ -240,7 +337,40 @@ class BsoloSolver:
                 and self.stats.decisions > self._options.max_decisions
             ):
                 return self._timeout()
+            if tracer.enabled:
+                tracer.emit(
+                    DecisionEvent(
+                        literal=literal,
+                        level=propagator.trail.decision_level + 1,
+                    )
+                )
             propagator.decide(literal)
+
+    # ------------------------------------------------------------------
+    # Periodic progress (callback + trace heartbeat)
+    # ------------------------------------------------------------------
+    def _maybe_progress(self) -> None:
+        """Fire ``on_progress``/emit a progress event every N conflicts."""
+        if self.stats.conflicts < self._next_progress:
+            return
+        self._next_progress = self.stats.conflicts + self._options.progress_interval
+        self.stats.progress_reports += 1
+        best = (
+            self._upper + self._objective.offset
+            if self._best_assignment is not None
+            else None
+        )
+        if self._options.on_progress is not None:
+            self._options.on_progress(self.stats, best, self._last_lower)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                ProgressEvent(
+                    conflicts=self.stats.conflicts,
+                    decisions=self.stats.decisions,
+                    best=best,
+                    lower=self._last_lower,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Lower bounding (Sections 3-4)
@@ -255,6 +385,8 @@ class BsoloSolver:
         Returns ``(pruned, search_exhausted)``.
         """
         trail = self._propagator.trail
+        timer = self._timer
+        tracer = self._tracer
         fixed = trail.assignment()
         path = self._objective.path_cost(fixed)
         bound = self._compute_bound(fixed, path)
@@ -262,17 +394,50 @@ class BsoloSolver:
 
         if bound.infeasible:
             self.stats.bound_conflicts += 1
+            if tracer.enabled:
+                tracer.emit(
+                    LowerBoundEvent(
+                        method=self._last_bound_method,
+                        value=0,
+                        path=path,
+                        level=trail.decision_level,
+                        infeasible=True,
+                        pruned=True,
+                    )
+                )
+                tracer.emit(
+                    ConflictEvent(type="bound", level=trail.decision_level)
+                )
             clause = infeasibility_clause(
                 self._instance, trail, self._cut_constraints
             )
-            return True, not self._resolve(clause)
+            timer.push("analyze")
+            resolved = self._resolve(clause)
+            timer.pop()
+            return True, not resolved
 
         if bound.fractional:
             self._lp_values = bound.fractional
+        self._last_lower = path + bound.value
 
-        if path + bound.value >= self._upper:
+        pruned = path + bound.value >= self._upper
+        if tracer.enabled:
+            tracer.emit(
+                LowerBoundEvent(
+                    method=self._last_bound_method,
+                    value=bound.value,
+                    path=path,
+                    level=trail.decision_level,
+                    pruned=pruned,
+                )
+            )
+        if pruned:
             self.stats.bound_conflicts += 1
             self.stats.prunings += 1
+            if tracer.enabled:
+                tracer.emit(
+                    ConflictEvent(type="bound", level=trail.decision_level)
+                )
             if self._options.bound_conflict_learning:
                 alpha = self._alpha_refinement(bound, fixed)
                 clause = bound_conflict_clause(
@@ -284,22 +449,34 @@ class BsoloSolver:
                     -trail.decision_at(level)
                     for level in range(1, trail.decision_level + 1)
                 )
-            return True, not self._resolve(clause)
+            timer.push("analyze")
+            resolved = self._resolve(clause)
+            timer.pop()
+            return True, not resolved
         return False, False
 
     def _compute_bound(self, fixed: Dict[int, int], path: int) -> LowerBound:
+        timer = self._timer
         if self._prefilter is not None:
             # hybrid mode: if the cheap MIS bound already prunes (or
             # detects infeasibility), skip the LP entirely.
+            timer.push("lower_bound.mis")
             cheap = self._prefilter.compute(fixed, self._cut_constraints)
+            timer.pop()
             if cheap.infeasible or path + cheap.value >= self._upper:
+                self._last_bound_method = "mis"
                 return cheap
-        if isinstance(self._bounder, LagrangianBound):
-            target = max(float(self._upper - path), 1.0)
-            return self._bounder.compute(
-                fixed, self._cut_constraints, upper_target=target
-            )
-        return self._bounder.compute(fixed, self._cut_constraints)
+        self._last_bound_method = self._bounder.name
+        timer.push("lower_bound." + self._bounder.name)
+        try:
+            if isinstance(self._bounder, LagrangianBound):
+                target = max(float(self._upper - path), 1.0)
+                return self._bounder.compute(
+                    fixed, self._cut_constraints, upper_target=target
+                )
+            return self._bounder.compute(fixed, self._cut_constraints)
+        finally:
+            timer.pop()
 
     def _alpha_refinement(
         self, bound: LowerBound, fixed: Dict[int, int]
@@ -327,6 +504,14 @@ class BsoloSolver:
             self._upper = cost
             reported = cost + self._objective.offset
             logger.debug("new incumbent: cost %d", reported)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    IncumbentEvent(
+                        cost=reported,
+                        decisions=self.stats.decisions,
+                        conflicts=self.stats.conflicts,
+                    )
+                )
             if self._options.on_new_solution is not None:
                 self._options.on_new_solution(reported, dict(assignment))
 
@@ -340,12 +525,16 @@ class BsoloSolver:
             )
 
         if improved and self._options.upper_bound_cuts:
+            self._timer.push("cuts")
             cuts, proven = self._cut_generator.cuts_for(self._upper)
+            self._timer.pop()
             if proven:
                 return self._finish()
             for cut in cuts:
                 self._propagator.add_constraint(cut)
                 self.stats.cuts_added += 1
+                if self._tracer.enabled:
+                    self._tracer.emit(CutEvent(size=len(cut)))
             # For the relaxations, each new solution's cuts dominate the
             # previous round's (smaller rhs, same support): replace rather
             # than accumulate, keeping the LPs small.
@@ -392,6 +581,15 @@ class BsoloSolver:
         self._activity.bump_all(analysis.seen_variables)
         self._activity.decay()
         self.stats.record_backjump(level, analysis.backtrack_level)
+        self.stats.resolution_steps += analysis.resolution_steps
+        if self._tracer.enabled:
+            self._tracer.emit(
+                BackjumpEvent(
+                    from_level=level,
+                    to_level=analysis.backtrack_level,
+                    learned_size=len(analysis.learned_literals),
+                )
+            )
         self._propagator.backtrack(analysis.backtrack_level)
         learned = Constraint.clause(analysis.learned_literals)
         conflict = self._propagator.add_constraint(learned, learned=True)

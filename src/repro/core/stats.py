@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
 
 class SolverStats:
@@ -36,8 +36,22 @@ class SolverStats:
         self.backjump_max = 0
         #: Necessary assignments found by preprocessing.
         self.necessary_assignments = 0
+        #: Restarts performed by the scheduler.
+        self.restarts = 0
+        #: Variables resolved away during conflict analysis (first-UIP
+        #: resolution steps; a proxy for analysis effort).
+        self.resolution_steps = 0
+        #: Periodic progress reports fired (callback and/or trace).
+        self.progress_reports = 0
         #: Wall-clock seconds spent in solve().
         self.elapsed = 0.0
+        #: Exclusive per-phase wall time (propagate / analyze /
+        #: lower_bound.* / branching / cuts / preprocess); populated only
+        #: when profiling is enabled, and sums to <= elapsed.
+        self.phase_times: Dict[str, float] = {}
+        #: Per-bounder detail (calls / iterations / seconds), keyed by
+        #: lower-bound method name.
+        self.lb_stats: Dict[str, Dict[str, float]] = {}
 
     @property
     def conflicts(self) -> int:
@@ -50,7 +64,9 @@ class SolverStats:
         if jump > self.backjump_max:
             self.backjump_max = jump
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot (``phase_times`` / ``lb_stats`` are
+        nested dicts; everything else is a number)."""
         return {
             "decisions": self.decisions,
             "logic_conflicts": self.logic_conflicts,
@@ -66,7 +82,12 @@ class SolverStats:
             "backjump_total": self.backjump_total,
             "backjump_max": self.backjump_max,
             "necessary_assignments": self.necessary_assignments,
+            "restarts": self.restarts,
+            "resolution_steps": self.resolution_steps,
+            "progress_reports": self.progress_reports,
             "elapsed": self.elapsed,
+            "phase_times": dict(self.phase_times),
+            "lb_stats": {key: dict(value) for key, value in self.lb_stats.items()},
         }
 
     def __repr__(self) -> str:

@@ -49,6 +49,12 @@ class AnalysisResult:
         #: the optional cutting-plane learner).
         self.resolved_variables = resolved_variables
 
+    @property
+    def resolution_steps(self) -> int:
+        """Resolution steps performed to reach the first UIP (the
+        analysis-effort figure reported by ``SolverStats``)."""
+        return len(self.resolved_variables)
+
 
 class RootConflictError(Exception):
     """Conflict at decision level 0: the formula is unsatisfiable."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
+from ..obs.events import PropagationEvent
 from ..pb.constraints import Constraint
 from ..pb.literals import variable
 from .assignment import Reason, Trail
@@ -47,13 +48,24 @@ class Conflict:
 
 
 class Propagator:
-    """Drives assignments, slack maintenance and implication discovery."""
+    """Drives assignments, slack maintenance and implication discovery.
 
-    def __init__(self, num_variables: int):
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) is optional; when
+    given and enabled, every :meth:`propagate` call that produced
+    implications or a conflict emits one batch event.  The hot loops are
+    untouched — the accounting rides on the existing counter.
+    """
+
+    def __init__(self, num_variables: int, tracer=None):
         self.trail = Trail(num_variables)
         self.database = ConstraintDatabase(self.trail)
         self._pending: Deque[StoredConstraint] = deque()
         self.num_propagations = 0
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._batch_mark = 0
+        if self._tracer is None:
+            # Skip the batch-accounting wrapper entirely on the null path.
+            self.propagate = self._propagate_loop  # type: ignore[method-assign]
         # var -> the PB constraint that implied it (for cutting-plane
         # learning; the clausal reason on the trail is authoritative for
         # clausal analysis)
@@ -127,6 +139,22 @@ class Propagator:
         queue is fully drained either way (slacks stay consistent; stale
         entries are re-checked cheaply).
         """
+        if self._tracer is None:
+            return self._propagate_loop()
+        conflict = self._propagate_loop()
+        delta = self.num_propagations - self._batch_mark
+        self._batch_mark = self.num_propagations
+        if delta or conflict is not None:
+            self._tracer.emit(
+                PropagationEvent(
+                    count=delta,
+                    level=self.trail.decision_level,
+                    conflict=conflict is not None,
+                )
+            )
+        return conflict
+
+    def _propagate_loop(self) -> Optional[Conflict]:
         while self._pending:
             stored = self._pending.popleft()
             stored.queued = False

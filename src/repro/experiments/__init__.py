@@ -12,6 +12,7 @@ from .runner import (
     run_matrix,
     run_one,
     solved_counts,
+    write_records_jsonl,
 )
 from .table1 import FAMILIES, Table1Result, family_instances, generate_table1
 
@@ -40,4 +41,5 @@ __all__ = [
     "run_one",
     "scaling_sweep",
     "solved_counts",
+    "write_records_jsonl",
 ]

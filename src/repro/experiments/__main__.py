@@ -36,6 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--time-limit", type=float, default=6.0)
     table1.add_argument("--scale", type=float, default=1.0)
     table1.add_argument("--fast", action="store_true", help="count=2, 2s budget")
+    table1.add_argument(
+        "--stats-jsonl",
+        metavar="FILE",
+        default=None,
+        help="persist per-run structured stats as JSONL",
+    )
 
     bounds = sub.add_parser("bounds", help="root lower-bound quality table")
     bounds.add_argument("--family", choices=FAMILIES, default="mcnc")
@@ -76,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print("bsolo ordering holds:", result.bsolo_ordering_holds())
         print("acc rows identical:", result.acc_rows_identical_for_bsolo())
+        if args.stats_jsonl:
+            written = result.dump_stats_jsonl(args.stats_jsonl)
+            print("wrote %d per-run stat records to %s" % (written, args.stats_jsonl))
     elif args.command == "bounds":
         instances, labels = family_instances(args.family, count=args.count)
         records = bound_quality(

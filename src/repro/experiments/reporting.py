@@ -12,7 +12,7 @@ def format_matrix(
     records: Dict[str, List[RunRecord]], solver_names: Sequence[str]
 ) -> str:
     """One family's block: instances as rows, solvers as columns."""
-    if not records:
+    if not records or not solver_names:
         return ""
     labels = [record.instance_label for record in records[solver_names[0]]]
     best_costs = []

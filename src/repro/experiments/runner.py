@@ -8,8 +8,9 @@ configurations ``bsolo-plain`` / ``bsolo-mis`` / ``bsolo-lgr`` /
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..baselines.covering_bnb import CoveringBnBSolver
 from ..baselines.cutting_planes import CuttingPlanesSolver
@@ -35,14 +36,27 @@ SOLVER_NAMES = (
 BSOLO_NAMES = ("bsolo-plain", "bsolo-mis", "bsolo-lgr", "bsolo-lpr")
 
 
-def make_solver(name: str, instance: PBInstance, time_limit: Optional[float]):
+def make_solver(
+    name: str,
+    instance: PBInstance,
+    time_limit: Optional[float],
+    tracer=None,
+    profile: bool = False,
+    on_progress=None,
+    progress_interval: int = 1000,
+):
     """Instantiate a registered solver for one instance.
 
     Beyond the Table 1 columns, ``scherzo`` (classical covering branch &
     bound, clause-only instances) and ``bsolo-hybrid`` are available.
+    The observability hooks (``tracer``, ``profile``, ``on_progress``)
+    are honoured by the bsolo configurations and the ``pbs`` comparator;
+    the remaining baselines ignore them.
     """
     if name == "pbs":
-        return LinearSearchSolver(instance, time_limit=time_limit)
+        return LinearSearchSolver(
+            instance, time_limit=time_limit, tracer=tracer, profile=profile
+        )
     if name == "galena":
         return CuttingPlanesSolver(instance, time_limit=time_limit)
     if name == "cplex":
@@ -51,7 +65,14 @@ def make_solver(name: str, instance: PBInstance, time_limit: Optional[float]):
         return CoveringBnBSolver(instance, time_limit=time_limit)
     if name.startswith("bsolo-"):
         method = name.split("-", 1)[1]
-        options = SolverOptions(lower_bound=method, time_limit=time_limit)
+        options = SolverOptions(
+            lower_bound=method,
+            time_limit=time_limit,
+            tracer=tracer,
+            profile=profile,
+            on_progress=on_progress,
+            progress_interval=progress_interval,
+        )
         return BsoloSolver(instance, options)
     raise ValueError("unknown solver %r (choose from %s)" % (name, SOLVER_NAMES))
 
@@ -79,6 +100,18 @@ class RunRecord:
             return "ub %d" % self.result.best_cost
         return "time"
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Machine-readable record: outcome plus the full structured
+        stats, for persisted per-run trajectories."""
+        return {
+            "solver": self.solver,
+            "instance": self.instance_label,
+            "status": self.result.status,
+            "cost": self.result.best_cost,
+            "seconds": round(self.seconds, 6),
+            "stats": self.result.stats.as_dict(),
+        }
+
     def __repr__(self) -> str:
         return "RunRecord(%s on %s: %s)" % (
             self.solver, self.instance_label, self.cell()
@@ -90,9 +123,21 @@ def run_one(
     instance: PBInstance,
     instance_label: str,
     time_limit: Optional[float] = None,
+    tracer=None,
+    profile: bool = False,
+    on_progress=None,
+    progress_interval: int = 1000,
 ) -> RunRecord:
     """Run one solver on one instance with a wall-clock budget."""
-    solver = make_solver(solver_name, instance, time_limit)
+    solver = make_solver(
+        solver_name,
+        instance,
+        time_limit,
+        tracer=tracer,
+        profile=profile,
+        on_progress=on_progress,
+        progress_interval=progress_interval,
+    )
     start = time.monotonic()
     result = solver.solve()
     seconds = time.monotonic() - start
@@ -122,3 +167,26 @@ def solved_counts(records: Dict[str, List[RunRecord]]) -> Dict[str, int]:
         name: sum(1 for record in runs if record.solved)
         for name, runs in records.items()
     }
+
+
+def write_records_jsonl(
+    records: Dict[str, List[RunRecord]],
+    path: str,
+    extra: Optional[Dict[str, Any]] = None,
+    append: bool = False,
+) -> int:
+    """Persist a run matrix as JSONL, one record per (solver, instance).
+
+    ``extra`` key/values (e.g. a family label) are merged into every
+    record.  Returns the number of lines written.
+    """
+    written = 0
+    with open(path, "a" if append else "w") as handle:
+        for name in records:
+            for record in records[name]:
+                row = record.as_dict()
+                if extra:
+                    row.update(extra)
+                handle.write(json.dumps(row) + "\n")
+                written += 1
+    return written

@@ -25,7 +25,14 @@ from ..benchgen.grout import routing_suite
 from ..benchgen.ptl import ptl_suite
 from ..benchgen.synthesis import covering_suite
 from ..pb.instance import PBInstance
-from .runner import BSOLO_NAMES, SOLVER_NAMES, RunRecord, run_matrix, solved_counts
+from .runner import (
+    BSOLO_NAMES,
+    SOLVER_NAMES,
+    RunRecord,
+    run_matrix,
+    solved_counts,
+    write_records_jsonl,
+)
 
 #: Family keys in the paper's row order.
 FAMILIES = ("grout", "ptl", "mcnc", "acc")
@@ -97,6 +104,18 @@ class Table1Result:
             family: solved_counts(records)[solver]
             for family, records in self.per_family.items()
         }
+
+    def dump_stats_jsonl(self, path: str) -> int:
+        """Persist every run's structured stats as JSONL (one record per
+        solver x instance, tagged with its family) so reproduction runs
+        leave machine-readable trajectories behind.  Returns the number
+        of records written."""
+        written = 0
+        for index, (family, records) in enumerate(self.per_family.items()):
+            written += write_records_jsonl(
+                records, path, extra={"family": family}, append=index > 0
+            )
+        return written
 
     def bsolo_ordering_holds(self) -> bool:
         """Claim 1: plain <= MIS and plain <= LGR <= LPR in #solved."""

@@ -25,6 +25,7 @@ refinement drops assignments whose flip could only raise the bound.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -74,6 +75,7 @@ class LagrangianBound:
         self._mu_memory: Dict[Constraint, float] = {}
         self.num_calls = 0
         self.total_iterations = 0
+        self.total_seconds = 0.0
         #: Trace of L(mu) per iteration of the last call (for convergence
         #: studies, paper Section 6 discusses LGR's slow convergence).
         self.last_trace: List[float] = []
@@ -92,6 +94,27 @@ class LagrangianBound:
         of remaining costs); ``warm_start`` may carry LP duals keyed by
         constraint.
         """
+        started = time.perf_counter()
+        try:
+            return self._compute(fixed, extra_constraints, upper_target, warm_start)
+        finally:
+            self.total_seconds += time.perf_counter() - started
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Structured per-bounder stats (merged into ``SolverStats``)."""
+        return {
+            "calls": self.num_calls,
+            "iterations": self.total_iterations,
+            "seconds": round(self.total_seconds, 6),
+        }
+
+    def _compute(
+        self,
+        fixed: Mapping[int, int],
+        extra_constraints: Sequence[Constraint] = (),
+        upper_target: Optional[float] = None,
+        warm_start: Optional[Mapping[Constraint, float]] = None,
+    ) -> LowerBound:
         self.num_calls += 1
         data = build_lp_data(self._instance, fixed, extra_constraints)
         if data is None:

@@ -14,6 +14,7 @@ rounded up.  Besides the bound value, this module extracts
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Mapping, Optional, Sequence
 
 from ..pb.constraints import Constraint
@@ -71,6 +72,15 @@ class LPRelaxationBound:
         self._tight_tol = tight_tol
         self.num_calls = 0
         self.total_iterations = 0
+        self.total_seconds = 0.0
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Structured per-bounder stats (merged into ``SolverStats``)."""
+        return {
+            "calls": self.num_calls,
+            "iterations": self.total_iterations,
+            "seconds": round(self.total_seconds, 6),
+        }
 
     def compute(
         self,
@@ -82,6 +92,17 @@ class LPRelaxationBound:
         ``extra_constraints`` lets the solver include learned knapsack
         cuts in the relaxation (Section 5) without mutating the instance.
         """
+        started = time.perf_counter()
+        try:
+            return self._compute(fixed, extra_constraints)
+        finally:
+            self.total_seconds += time.perf_counter() - started
+
+    def _compute(
+        self,
+        fixed: Mapping[int, int],
+        extra_constraints: Sequence[Constraint] = (),
+    ) -> LowerBound:
         self.num_calls += 1
         data = build_lp_data(self._instance, fixed, extra_constraints)
         if data is None:

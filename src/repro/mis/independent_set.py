@@ -21,7 +21,8 @@ maximum independent sets of constraints.
 from __future__ import annotations
 
 import math
-from typing import List, Mapping, Optional, Sequence, Set, Tuple
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..pb.constraints import Constraint
 from ..pb.instance import PBInstance
@@ -91,6 +92,14 @@ class MISBound:
     def __init__(self, instance: PBInstance):
         self._instance = instance
         self.num_calls = 0
+        self.total_seconds = 0.0
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Structured per-bounder stats (merged into ``SolverStats``)."""
+        return {
+            "calls": self.num_calls,
+            "seconds": round(self.total_seconds, 6),
+        }
 
     def compute(
         self,
@@ -98,6 +107,17 @@ class MISBound:
         extra_constraints: Sequence[Constraint] = (),
     ) -> LowerBound:
         """``P.lower`` from a variable-disjoint set of constraints."""
+        started = time.perf_counter()
+        try:
+            return self._compute(fixed, extra_constraints)
+        finally:
+            self.total_seconds += time.perf_counter() - started
+
+    def _compute(
+        self,
+        fixed: Mapping[int, int],
+        extra_constraints: Sequence[Constraint] = (),
+    ) -> LowerBound:
         self.num_calls += 1
         costs = self._instance.objective.costs
         candidates: List[Tuple[float, Constraint, List[int], Set[int]]] = []

@@ -1,0 +1,94 @@
+"""Observability: search-event tracing, phase timers, profile reports.
+
+The measurement layer every performance claim is judged against:
+
+* :mod:`repro.obs.events` — typed search-event records (decision,
+  propagation batch, logic/bound conflict, backjump, restart, lower
+  bound call, incumbent update, cut, progress, result);
+* :mod:`repro.obs.trace` — the no-op :data:`NULL_TRACER` (zero overhead
+  when disabled) and the buffered :class:`JsonlTracer` sink;
+* :mod:`repro.obs.timers` — :class:`PhaseTimer` with exclusive-time
+  accounting per search phase;
+* :mod:`repro.obs.report` — profile tables and gap-vs-time summaries.
+
+Typical use::
+
+    from repro import JsonlTracer, SolverOptions, solve
+
+    with JsonlTracer("run.jsonl") as tracer:
+        result = solve(instance, SolverOptions(tracer=tracer, profile=True))
+    print(result.stats.phase_times)
+"""
+
+from .events import (
+    BACKJUMP,
+    CONFLICT,
+    CUT,
+    DECISION,
+    EVENT_KINDS,
+    EVENT_TYPES,
+    INCUMBENT,
+    LOWER_BOUND,
+    PROGRESS,
+    PROPAGATION,
+    RESTART,
+    RESULT,
+    RUN_HEADER,
+    BackjumpEvent,
+    ConflictEvent,
+    CutEvent,
+    DecisionEvent,
+    Event,
+    IncumbentEvent,
+    LowerBoundEvent,
+    ProgressEvent,
+    PropagationEvent,
+    RestartEvent,
+    ResultEvent,
+    RunHeaderEvent,
+    event_from_record,
+)
+from .report import format_profile, format_progress, gap_history, trace_summary
+from .timers import NULL_TIMER, NullPhaseTimer, PhaseTimer
+from .trace import NULL_TRACER, JsonlTracer, NullTracer, Tracer, read_trace
+
+__all__ = [
+    "BACKJUMP",
+    "CONFLICT",
+    "CUT",
+    "DECISION",
+    "EVENT_KINDS",
+    "EVENT_TYPES",
+    "INCUMBENT",
+    "LOWER_BOUND",
+    "NULL_TIMER",
+    "NULL_TRACER",
+    "PROGRESS",
+    "PROPAGATION",
+    "RESTART",
+    "RESULT",
+    "RUN_HEADER",
+    "BackjumpEvent",
+    "ConflictEvent",
+    "CutEvent",
+    "DecisionEvent",
+    "Event",
+    "IncumbentEvent",
+    "JsonlTracer",
+    "LowerBoundEvent",
+    "NullPhaseTimer",
+    "NullTracer",
+    "PhaseTimer",
+    "ProgressEvent",
+    "PropagationEvent",
+    "RestartEvent",
+    "ResultEvent",
+    "RunHeaderEvent",
+    "Tracer",
+    "event_from_record",
+    "format_profile",
+    "format_progress",
+    "gap_history",
+    "read_trace",
+    "trace_summary",
+]

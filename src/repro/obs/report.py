@@ -1,0 +1,133 @@
+"""Human-readable rendering of profiles and trace progress.
+
+Two consumers:
+
+* ``--profile`` renders the phase-time table from a finished solve's
+  ``stats.phase_times`` (live stats path);
+* trace post-processing renders a gap-vs-time summary from the JSONL
+  records of :mod:`repro.obs.trace` (offline path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import CONFLICT, INCUMBENT, LOWER_BOUND, PROGRESS, RESULT
+
+
+def format_profile(
+    phase_times: Mapping[str, float], elapsed: Optional[float] = None
+) -> str:
+    """Render the per-phase wall-time breakdown as an aligned table.
+
+    Phases are sorted by time spent, descending; when ``elapsed`` is
+    given, untimed time (main-loop overhead, bookkeeping) shows up as an
+    ``(other)`` row so the column sums to the total.
+    """
+    items: List[Tuple[str, float]] = sorted(
+        phase_times.items(), key=lambda item: (-item[1], item[0])
+    )
+    timed = sum(phase_times.values())
+    total = elapsed if elapsed is not None and elapsed > timed else timed
+    rows = [("phase", "seconds", "share")]
+    for name, seconds in items:
+        share = seconds / total if total > 0 else 0.0
+        rows.append((name, "%.6f" % seconds, "%5.1f%%" % (100.0 * share)))
+    if elapsed is not None and elapsed > timed:
+        other = elapsed - timed
+        share = other / total if total > 0 else 0.0
+        rows.append(("(other)", "%.6f" % other, "%5.1f%%" % (100.0 * share)))
+    rows.append(("total", "%.6f" % total, "100.0%"))
+    return _align(rows)
+
+
+def gap_history(
+    events: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Extract the incumbent / lower-bound trajectory from a trace.
+
+    Returns ``[{"t", "best", "lower"}, ...]`` points, one per event that
+    changed either side of the gap.  ``lower`` tracks root-level
+    (level 0) lower-bound calls — the only ones valid for the whole
+    instance — and progress heartbeats.
+    """
+    points: List[Dict[str, Any]] = []
+    best: Optional[int] = None
+    lower: Optional[int] = None
+    for record in events:
+        kind = record.get("kind")
+        changed = False
+        if kind == INCUMBENT:
+            best = record.get("cost")
+            changed = True
+        elif kind == LOWER_BOUND:
+            if record.get("level") == 0 and not record.get("infeasible"):
+                candidate = record.get("path", 0) + record.get("value", 0)
+                if lower is None or candidate > lower:
+                    lower = candidate
+                    changed = True
+        elif kind == PROGRESS:
+            if record.get("best") is not None:
+                best = record["best"]
+            if record.get("lower") is not None:
+                lower = record["lower"]
+            changed = True
+        if changed:
+            points.append({"t": record.get("t", 0.0), "best": best, "lower": lower})
+    return points
+
+
+def format_progress(events: Sequence[Mapping[str, Any]]) -> str:
+    """Gap-vs-time summary table of one trace."""
+    points = gap_history(events)
+    rows = [("t", "best", "lower", "gap")]
+    for point in points:
+        best, lower = point["best"], point["lower"]
+        gap = (
+            str(best - lower)
+            if best is not None and lower is not None
+            else "-"
+        )
+        rows.append(
+            (
+                "%.3f" % point["t"],
+                str(best) if best is not None else "-",
+                str(lower) if lower is not None else "-",
+                gap,
+            )
+        )
+    return _align(rows)
+
+
+def trace_summary(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate counts of one parsed trace (kind -> occurrences, plus
+    the final status when a result record is present)."""
+    kinds: Dict[str, int] = {}
+    status: Optional[str] = None
+    conflicts = {"logic": 0, "bound": 0}
+    for record in events:
+        kind = record.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == CONFLICT:
+            conflicts[record.get("type", "logic")] = (
+                conflicts.get(record.get("type", "logic"), 0) + 1
+            )
+        elif kind == RESULT:
+            status = record.get("status")
+    return {"kinds": kinds, "conflicts": conflicts, "status": status}
+
+
+def _align(rows: Sequence[Tuple[str, ...]]) -> str:
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[index]) if index == 0 else cell.rjust(widths[index])
+                for index, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Trace sinks: the no-op null tracer and a buffered JSONL writer.
+
+The solver is instrumented with ``if tracer.enabled: tracer.emit(...)``
+guards, so with the default :data:`NULL_TRACER` a solve performs zero
+event construction and zero sink writes — tracing must be free when off.
+
+When enabled, :class:`JsonlTracer` writes one JSON object per line::
+
+    {"kind": "run_header", "t": 0.0, "solver": "bsolo", ...}
+    {"kind": "decision", "t": 0.000123, "literal": -3, "level": 1}
+    ...
+    {"kind": "result", "t": 0.042, "status": "optimal", "cost": 4, ...}
+
+``t`` is the monotonic time in seconds since the first event of the
+trace.  Events are buffered and flushed in batches so tracing long runs
+does not turn into one syscall per decision.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Dict, List, Optional, Union
+
+from .events import Event
+
+
+class Tracer:
+    """No-op base tracer; also the interface sinks implement.
+
+    ``enabled`` is the contract with instrumented code: call sites must
+    skip event construction entirely when it is False.
+    """
+
+    enabled = False
+
+    #: Optional label stamped into the run header by the solver (set by
+    #: the CLI / harness before solve()).
+    instance_label = ""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullTracer(Tracer):
+    """Disabled tracer (the default everywhere)."""
+
+
+#: Shared no-op instance: safe because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+class JsonlTracer(Tracer):
+    """Buffered JSONL trace writer with monotonic timestamps."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[str, IO[str]],
+        buffer_size: int = 256,
+        clock=time.monotonic,
+    ):
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if isinstance(sink, str):
+            self._file: IO[str] = open(sink, "w")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._buffer: List[str] = []
+        self._buffer_size = buffer_size
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._closed = False
+        self.instance_label = ""
+        #: Events accepted so far.
+        self.events_emitted = 0
+        #: Physical sink writes performed (for overhead accounting).
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+        record: Dict[str, Any] = {"kind": event.kind, "t": round(now - self._start, 6)}
+        record.update(event.payload())
+        self._buffer.append(json.dumps(record, separators=(",", ":"), default=str))
+        self.events_emitted += 1
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        self._file.write("\n".join(self._buffer) + "\n")
+        self.writes += 1
+        self._buffer.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_file:
+            self._file.close()
+        self._closed = True
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of record dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

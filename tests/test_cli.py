@@ -1,8 +1,11 @@
 """Tests for the bsolo command-line interface."""
 
+import json
+
 import pytest
 
 from repro import cli
+from repro.obs import read_trace
 from repro.pb import opb, parse
 
 
@@ -78,3 +81,98 @@ class TestMain:
     def test_time_limit_accepted(self, opt_file, capsys):
         exit_code = cli.main([opt_file, "--time-limit", "30"])
         assert exit_code == 0
+
+
+class TestObservabilityFlags:
+    def test_stats_floats_have_six_decimals(self, opt_file, capsys):
+        cli.main([opt_file, "--stats"])
+        out = capsys.readouterr().out
+        elapsed_lines = [
+            l for l in out.splitlines() if l.startswith("c elapsed ")
+        ]
+        assert len(elapsed_lines) == 1
+        value = elapsed_lines[0].split()[-1]
+        assert "." in value and len(value.split(".")[1]) == 6
+
+    def test_trace_flag_writes_valid_jsonl(self, opt_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        exit_code = cli.main([opt_file, "--trace", trace_path])
+        assert exit_code == 0
+        records = read_trace(trace_path)  # every line parses as JSON
+        assert records[0]["kind"] == "run_header"
+        assert records[0]["instance"] == opt_file
+        assert records[-1]["kind"] == "result"
+        assert records[-1]["status"] == "optimal"
+        times = [r["t"] for r in records]
+        assert times == sorted(times)
+
+    def test_profile_flag_prints_table(self, opt_file, capsys):
+        cli.main([opt_file, "--profile"])
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert any(l.startswith("c phase") for l in lines)
+        assert any(l.startswith("c total") for l in lines)
+        total_line = [l for l in lines if l.startswith("c total")][0]
+        assert "100.0%" in total_line
+
+    def test_stats_json_flag(self, opt_file, tmp_path, capsys):
+        json_path = str(tmp_path / "stats.json")
+        exit_code = cli.main([opt_file, "--stats-json", json_path])
+        assert exit_code == 0
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        assert payload["status"] == "optimal"
+        assert payload["cost"] == 4
+        assert payload["solver"] == "bsolo-lpr"
+        assert payload["instance"] == opt_file
+        assert payload["stats"]["decisions"] >= 0
+        assert payload["stats"]["lower_bound_calls"] >= 1
+
+    def test_progress_flag_accepted(self, opt_file, capsys):
+        exit_code = cli.main(
+            [opt_file, "--progress", "--progress-interval", "1"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        progress_lines = [
+            l for l in out.splitlines() if l.startswith("c progress ")
+        ]
+        assert progress_lines, "interval=1 should print at least one heartbeat"
+        assert "conflicts=" in progress_lines[0]
+
+    def test_all_flags_together(self, opt_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        json_path = str(tmp_path / "stats.json")
+        exit_code = cli.main(
+            [
+                opt_file,
+                "--profile",
+                "--trace",
+                trace_path,
+                "--stats-json",
+                json_path,
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s OPTIMAL" in out
+        records = read_trace(trace_path)
+        assert records[0]["kind"] == "run_header"
+        assert records[-1]["kind"] == "result"
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        # profiling was on, so phase times land in the JSON stats too
+        assert payload["stats"]["phase_times"]
+        assert any("c phase_times." in l for l in out.splitlines())
+
+    def test_trace_works_for_pbs_baseline(self, opt_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "pbs.jsonl")
+        exit_code = cli.main(
+            [opt_file, "--solver", "pbs", "--trace", trace_path]
+        )
+        assert exit_code == 0
+        records = read_trace(trace_path)
+        assert records[0]["kind"] == "run_header"
+        assert records[0]["solver"] == "pbs-like"
+        assert records[-1]["kind"] == "result"

@@ -1,5 +1,7 @@
 """Tests for the experiment harness (runner, table1, reporting)."""
 
+import json
+
 import pytest
 
 from repro.experiments import (
@@ -14,6 +16,7 @@ from repro.experiments import (
     run_matrix,
     run_one,
     solved_counts,
+    write_records_jsonl,
 )
 from repro.pb import Constraint, Objective, PBInstance
 
@@ -113,3 +116,36 @@ class TestTable1:
     def test_matrix_formatting_direct(self, result):
         text = format_matrix(result.per_family["grout"], SOLVER_NAMES)
         assert "Benchmark" in text
+
+    def test_matrix_empty_inputs_return_empty_string(self, result):
+        # regression: used to raise IndexError on empty solver_names
+        assert format_matrix(result.per_family["grout"], []) == ""
+        assert format_matrix([], SOLVER_NAMES) == ""
+        assert format_matrix([], []) == ""
+
+    def test_write_records_jsonl_round_trip(self, result, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        written = write_records_jsonl(
+            result.per_family["grout"], path, extra={"family": "grout"}
+        )
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == written > 0
+        assert all(row["family"] == "grout" for row in rows)
+        assert {"solver", "instance", "status", "seconds", "stats"} <= set(
+            rows[0]
+        )
+        appended = write_records_jsonl(
+            result.per_family["acc"], path, extra={"family": "acc"}, append=True
+        )
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == written + appended
+
+    def test_dump_stats_jsonl(self, result, tmp_path):
+        path = str(tmp_path / "table1.jsonl")
+        written = result.dump_stats_jsonl(path)
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == written > 0
+        assert {row["family"] for row in rows} == {"grout", "acc"}
