@@ -3,24 +3,36 @@ Pseudo-Boolean Optimization" (Manquinho & Marques-Silva, DATE 2005).
 
 Public API tour
 ---------------
-Build a model and solve it::
+Build a model and solve it through the façade::
 
-    from repro import PBModel, SolverOptions, solve
+    from repro import PBModel, solve
 
     model = PBModel()
     x, y, z = model.new_variables("x", "y", "z")
     model.add_clause([x, y])
     model.add_at_most([y, z], 1)
     model.minimize([(3, x), (2, y), (2, z)])
-    result = solve(model.build(), SolverOptions(lower_bound="lpr"))
+    result = solve(model.build(), solver="bsolo-lpr", timeout=10.0)
     print(result.status, result.best_cost)
 
-Load the OPB interchange format with :func:`parse_file`, compare against
-the baselines in :mod:`repro.baselines`, generate EDA-style benchmark
-instances with :mod:`repro.benchgen`, and regenerate the paper's Table 1
-with :func:`repro.experiments.generate_table1`.
+Any registered solver works — ``available_solvers()`` lists them, and
+``solve(instance, solver="portfolio")`` (or :func:`solve_portfolio`)
+runs the parallel portfolio with incumbent exchange.  Load the OPB
+interchange format with :func:`parse_file`, compare against the
+baselines in :mod:`repro.baselines`, generate EDA-style benchmark
+instances with :mod:`repro.benchgen`, and regenerate the paper's
+Table 1 with :func:`repro.experiments.generate_table1`.
 """
 
+from .api import (
+    UnknownSolverError,
+    available_solvers,
+    canonical_name,
+    make_solver,
+    register_solver,
+    solve,
+    solver_descriptions,
+)
 from .core.options import SolverOptions
 from .core.stats import SolverStats
 from .core.result import (
@@ -30,7 +42,7 @@ from .core.result import (
     UNKNOWN,
     UNSATISFIABLE,
 )
-from .core.solver import BsoloSolver, solve
+from .core.solver import BsoloSolver
 from .obs import (
     JsonlTracer,
     NullTracer,
@@ -45,6 +57,12 @@ from .pb.constraints import Constraint
 from .pb.instance import PBInstance
 from .pb.objective import Objective
 from .pb.opb import parse, parse_file, write, write_file
+from .portfolio import (
+    PortfolioSolver,
+    PortfolioStats,
+    WorkerSpec,
+    solve_portfolio,
+)
 
 __version__ = "1.0.0"
 
@@ -58,6 +76,8 @@ __all__ = [
     "PBInstance",
     "PBModel",
     "PhaseTimer",
+    "PortfolioSolver",
+    "PortfolioStats",
     "SATISFIABLE",
     "SolveResult",
     "SolverOptions",
@@ -65,13 +85,21 @@ __all__ = [
     "Tracer",
     "UNKNOWN",
     "UNSATISFIABLE",
+    "UnknownSolverError",
+    "WorkerSpec",
     "__version__",
+    "available_solvers",
+    "canonical_name",
     "format_profile",
     "format_progress",
+    "make_solver",
     "parse",
     "parse_file",
     "read_trace",
+    "register_solver",
     "solve",
+    "solve_portfolio",
+    "solver_descriptions",
     "write",
     "write_file",
 ]

@@ -7,10 +7,18 @@ test suite to validate every other solver on small instances.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, Optional
 
 from ..pb.instance import PBInstance
-from ..core.result import OPTIMAL, SATISFIABLE, SolveResult, UNSATISFIABLE
+from ..core.options import SolverOptions, merge_solver_options
+from ..core.result import (
+    OPTIMAL,
+    SATISFIABLE,
+    SolveResult,
+    UNKNOWN,
+    UNSATISFIABLE,
+)
 from ..core.stats import SolverStats
 
 
@@ -19,20 +27,40 @@ class BruteForceSolver:
 
     name = "brute-force"
 
-    def __init__(self, instance: PBInstance, max_variables: int = 22):
+    def __init__(self, instance: PBInstance,
+                 options: Optional[SolverOptions] = None, *,
+                 max_variables: int = 22):
         if instance.num_variables > max_variables:
             raise ValueError(
                 "brute force capped at %d variables (got %d)"
                 % (max_variables, instance.num_variables)
             )
         self._instance = instance
+        self._options = merge_solver_options(options)
+        self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
+        start = time.monotonic()
+        options = self._options
+        deadline = (
+            start + options.time_limit
+            if options.time_limit is not None else None
+        )
         instance = self._instance
         n = instance.num_variables
         best_cost: Optional[int] = None
         best_assignment: Optional[Dict[int, int]] = None
-        for bits in itertools.product((0, 1), repeat=n):
+        status: Optional[str] = None
+        stats = self.stats
+        for index, bits in enumerate(itertools.product((0, 1), repeat=n)):
+            if index % 4096 == 0 and index:
+                if deadline is not None and time.monotonic() > deadline:
+                    status = UNKNOWN
+                    break
+                if options.should_stop is not None and options.should_stop():
+                    stats.interrupted = True
+                    status = UNKNOWN
+                    break
             assignment = {var: bits[var - 1] for var in range(1, n + 1)}
             if not instance.check(assignment):
                 continue
@@ -40,12 +68,17 @@ class BruteForceSolver:
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_assignment = assignment
+                stats.solutions_found += 1
+                if options.on_incumbent is not None:
+                    options.on_incumbent(cost, dict(assignment))
                 if instance.is_satisfaction:
                     break
-        stats = SolverStats()
-        if best_assignment is None:
-            return SolveResult(UNSATISFIABLE, stats=stats, solver_name=self.name)
-        status = SATISFIABLE if instance.is_satisfaction else OPTIMAL
+        stats.elapsed = time.monotonic() - start
+        if status is None:
+            if best_assignment is None:
+                status = UNSATISFIABLE
+            else:
+                status = SATISFIABLE if instance.is_satisfaction else OPTIMAL
         return SolveResult(
             status,
             best_cost=best_cost,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set
 
+from ..core.options import SolverOptions, merge_solver_options
 from ..core.result import (
     OPTIMAL,
     SATISFIABLE,
@@ -47,14 +48,19 @@ class CoveringBnBSolver:
     def __init__(
         self,
         instance: PBInstance,
+        options: Optional[SolverOptions] = None,
+        *,
         time_limit: Optional[float] = None,
         max_nodes: Optional[int] = None,
     ):
         if not instance.is_covering:
             raise ValueError("CoveringBnBSolver requires a clause-only instance")
         self._instance = instance
-        self._time_limit = time_limit
-        self._max_nodes = max_nodes
+        self._options = merge_solver_options(options, time_limit=time_limit)
+        self._time_limit = self._options.time_limit
+        self._max_nodes = (
+            max_nodes if max_nodes is not None else self._options.max_decisions
+        )
         self.stats = SolverStats()
         self._costs = instance.objective.costs
         self._mis = MISBound(instance)
@@ -75,6 +81,9 @@ class CoveringBnBSolver:
         trail: List[int] = []  # variables in assignment order
         upper = instance.objective.max_value + 1
         best: Optional[Dict[int, int]] = None
+        external_cost: Optional[int] = None
+        options = self._options
+        objective = instance.objective
         status: Optional[str] = None
         stack: List[_Frame] = []
 
@@ -157,6 +166,17 @@ class CoveringBnBSolver:
             if self._max_nodes is not None and self.stats.decisions >= self._max_nodes:
                 status = UNKNOWN
                 break
+            if options.should_stop is not None and options.should_stop():
+                self.stats.interrupted = True
+                status = UNKNOWN
+                break
+            if options.external_bound is not None and not objective.is_constant:
+                imported = options.external_bound()
+                if imported is not None and imported - objective.offset < upper:
+                    upper = imported - objective.offset
+                    best = None  # the model lives elsewhere
+                    external_cost = imported
+                    self.stats.external_bounds += 1
 
             prune = not descending
             if descending:
@@ -170,7 +190,12 @@ class CoveringBnBSolver:
                         solution.setdefault(var, 0)
                     upper = cost
                     best = solution
+                    external_cost = None
                     self.stats.solutions_found += 1
+                    if options.on_incumbent is not None:
+                        options.on_incumbent(
+                            cost + objective.offset, dict(solution)
+                        )
                     prune = True
                 else:
                     bound = self._mis.compute(assignment)
@@ -208,14 +233,17 @@ class CoveringBnBSolver:
                 status = (
                     SATISFIABLE if self._instance.is_satisfaction else OPTIMAL
                 )
+            elif external_cost is not None:
+                status = OPTIMAL
             else:
                 status = UNSATISFIABLE
         self.stats.elapsed = time.monotonic() - start
-        best_cost = (
-            upper + self._instance.objective.offset if best is not None else None
-        )
+        if best is not None:
+            best_cost = upper + objective.offset
+        else:
+            best_cost = external_cost
         if status == SATISFIABLE:
-            best_cost = self._instance.objective.offset
+            best_cost = objective.offset
         return SolveResult(
             status,
             best_cost=best_cost,

@@ -22,6 +22,7 @@ import time
 from typing import Dict, Optional
 
 from ..core.cuts import CutGenerator
+from ..core.options import SolverOptions, merge_solver_options
 from ..core.result import (
     OPTIMAL,
     SATISFIABLE,
@@ -43,40 +44,80 @@ class CuttingPlanesSolver:
 
     name = "galena-like"
 
-    def __init__(self, instance: PBInstance, time_limit: Optional[float] = None,
+    def __init__(self, instance: PBInstance,
+                 options: Optional[SolverOptions] = None, *,
+                 time_limit: Optional[float] = None,
                  max_conflicts: Optional[int] = None):
         self._instance = instance
-        self._time_limit = time_limit
-        self._max_conflicts = max_conflicts
+        self._options = merge_solver_options(
+            options, time_limit=time_limit, max_conflicts=max_conflicts
+        )
+        self._time_limit = self._options.time_limit
+        self._max_conflicts = self._options.max_conflicts
         self.stats = SolverStats()
+
+    def _add_bound_cuts(self, search: DecisionSearch, cut) -> None:
+        """Install a knapsack cut plus its cardinality strengthening."""
+        search.add_constraint(cut)
+        self.stats.cuts_added += 1
+        reduction = cardinality_reduction(cut)
+        if reduction is not None:
+            search.add_constraint(reduction)
+            self.stats.cuts_added += 1
 
     def solve(self) -> SolveResult:
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance
         objective = instance.objective
+        options = self._options
         cut_generator = CutGenerator(instance, cardinality_cuts=False)
 
         search = DecisionSearch(instance.num_variables, pb_learning=True)
         search.add_constraints(instance.constraints)
 
-        best_cost: Optional[int] = None
+        best_cost: Optional[int] = None  # path scale, local or imported
         best_assignment: Optional[Dict[int, int]] = None
+        external_cost: Optional[int] = None  # reported scale, model elsewhere
         status = None
         while True:
+            if options.should_stop is not None and options.should_stop():
+                self.stats.interrupted = True
+                status = UNKNOWN
+                break
+            if options.external_bound is not None and not objective.is_constant:
+                imported = options.external_bound()
+                if imported is not None:
+                    path = imported - objective.offset
+                    if best_cost is None or path < best_cost:
+                        best_cost = path
+                        best_assignment = None
+                        external_cost = imported
+                        self.stats.external_bounds += 1
+                        cut = cut_generator.knapsack_cut(path)
+                        if cut is None:
+                            status = OPTIMAL
+                            break
+                        self._add_bound_cuts(search, cut)
             outcome, model = search.solve(
-                deadline=deadline, max_conflicts=self._max_conflicts
+                deadline=deadline, max_conflicts=self._max_conflicts,
+                stop=options.should_stop,
             )
             if outcome == STOPPED:
                 status = UNKNOWN
+                if options.should_stop is not None and options.should_stop():
+                    self.stats.interrupted = True
                 break
             if outcome == UNSAT:
-                status = UNSATISFIABLE if best_assignment is None else OPTIMAL
+                status = UNSATISFIABLE if best_cost is None else OPTIMAL
                 break
             cost = objective.path_cost(model)
             self.stats.solutions_found += 1
             best_cost = cost
             best_assignment = model
+            external_cost = None
+            if options.on_incumbent is not None:
+                options.on_incumbent(cost + objective.offset, dict(model))
             if objective.is_constant:
                 status = SATISFIABLE
                 break
@@ -84,19 +125,21 @@ class CuttingPlanesSolver:
             if cut is None:
                 status = OPTIMAL
                 break
-            search.add_constraint(cut)
-            self.stats.cuts_added += 1
-            reduction = cardinality_reduction(cut)
-            if reduction is not None:
-                search.add_constraint(reduction)
-                self.stats.cuts_added += 1
+            self._add_bound_cuts(search, cut)
 
         self.stats.decisions = search.decisions
         self.stats.logic_conflicts = search.conflicts
+        self.stats.propagations = search.propagations
+        self.stats.pb_resolvents = search.pb_resolvents
         self.stats.elapsed = time.monotonic() - start
-        reported = (
-            best_cost + objective.offset if best_assignment is not None else None
-        )
+        if external_cost is not None:
+            reported = external_cost
+        elif best_cost is not None and (
+            best_assignment is not None or status == OPTIMAL
+        ):
+            reported = best_cost + objective.offset
+        else:
+            reported = None
         if status == SATISFIABLE:
             reported = objective.offset
         return SolveResult(

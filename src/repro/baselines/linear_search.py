@@ -14,6 +14,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.cuts import CutGenerator
+from ..core.options import SolverOptions, merge_solver_options
 from ..core.result import (
     OPTIMAL,
     SATISFIABLE,
@@ -33,21 +34,31 @@ from .sat_search import STOPPED, UNSAT, DecisionSearch
 class LinearSearchSolver:
     """SAT-based linear search (PBS-like comparator).
 
-    Supports the same observability hooks as the bsolo solver
-    (``tracer`` for JSONL event traces, ``profile`` for phase times) so
-    cross-solver comparisons measure with one instrument.
+    Supports the same observability and portfolio hooks as the bsolo
+    solver (``tracer``, ``profile``, ``on_incumbent``, ``external_bound``,
+    ``should_stop``), so cross-solver comparisons measure with one
+    instrument and the solver can run as a portfolio worker.  An imported
+    external incumbent is folded in as a knapsack cut at the next search
+    restart.
     """
 
     name = "pbs-like"
 
-    def __init__(self, instance: PBInstance, time_limit: Optional[float] = None,
+    def __init__(self, instance: PBInstance,
+                 options: Optional[SolverOptions] = None, *,
+                 time_limit: Optional[float] = None,
                  max_conflicts: Optional[int] = None, tracer=None,
                  profile: bool = False):
         self._instance = instance
-        self._time_limit = time_limit
-        self._max_conflicts = max_conflicts
-        self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._timer = PhaseTimer() if profile else NULL_TIMER
+        self._options = merge_solver_options(
+            options, time_limit=time_limit, max_conflicts=max_conflicts,
+            tracer=tracer, profile=profile,
+        )
+        opts = self._options
+        self._time_limit = opts.time_limit
+        self._max_conflicts = opts.max_conflicts
+        self._tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if opts.profile else NULL_TIMER
         self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
@@ -55,6 +66,7 @@ class LinearSearchSolver:
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance
         objective = instance.objective
+        options = self._options
         cut_generator = CutGenerator(instance, cardinality_cuts=False)
         tracer = self._tracer
         if tracer.enabled:
@@ -67,10 +79,31 @@ class LinearSearchSolver:
             )
 
         extra: List[Constraint] = []
-        best_cost: Optional[int] = None
+        best_cost: Optional[int] = None  # path scale, local or imported
         best_assignment: Optional[Dict[int, int]] = None
+        external_cost: Optional[int] = None  # reported scale, model elsewhere
         status = None
         while True:
+            if options.should_stop is not None and options.should_stop():
+                self.stats.interrupted = True
+                status = UNKNOWN
+                break
+            if options.external_bound is not None and not objective.is_constant:
+                imported = options.external_bound()
+                if imported is not None:
+                    path = imported - objective.offset
+                    if best_cost is None or path < best_cost:
+                        best_cost = path
+                        best_assignment = None
+                        external_cost = imported
+                        self.stats.external_bounds += 1
+                        cut = cut_generator.knapsack_cut(path)
+                        if cut is None:
+                            # a cost-0 incumbent elsewhere: nothing beats it
+                            status = OPTIMAL
+                            break
+                        extra.append(cut)
+                        self.stats.cuts_added += 1
             # PBS restarts the SAT engine for every new cost bound.
             search = DecisionSearch(
                 instance.num_variables, tracer=tracer, timer=self._timer
@@ -78,16 +111,19 @@ class LinearSearchSolver:
             search.add_constraints(instance.constraints)
             search.add_constraints(extra)
             outcome, model = search.solve(
-                deadline=deadline, max_conflicts=self._max_conflicts
+                deadline=deadline, max_conflicts=self._max_conflicts,
+                stop=options.should_stop,
             )
             self.stats.decisions += search.decisions
             self.stats.logic_conflicts += search.conflicts
             self.stats.propagations += search.propagations
             if outcome == STOPPED:
                 status = UNKNOWN
+                if options.should_stop is not None and options.should_stop():
+                    self.stats.interrupted = True
                 break
             if outcome == UNSAT:
-                if best_assignment is None:
+                if best_cost is None:
                     status = UNSATISFIABLE
                 else:
                     status = OPTIMAL
@@ -97,14 +133,18 @@ class LinearSearchSolver:
             self.stats.solutions_found += 1
             best_cost = cost
             best_assignment = model
+            external_cost = None
+            reported = cost + objective.offset
             if tracer.enabled:
                 tracer.emit(
                     IncumbentEvent(
-                        cost=cost + objective.offset,
+                        cost=reported,
                         decisions=self.stats.decisions,
                         conflicts=self.stats.conflicts,
                     )
                 )
+            if options.on_incumbent is not None:
+                options.on_incumbent(reported, dict(model))
             if objective.is_constant:
                 status = SATISFIABLE
                 break
@@ -120,9 +160,14 @@ class LinearSearchSolver:
 
         self.stats.elapsed = time.monotonic() - start
         self.stats.phase_times = self._timer.snapshot()
-        reported = (
-            best_cost + objective.offset if best_assignment is not None else None
-        )
+        if external_cost is not None:
+            reported = external_cost
+        elif best_cost is not None and (
+            best_assignment is not None or status == OPTIMAL
+        ):
+            reported = best_cost + objective.offset
+        else:
+            reported = None
         if status == SATISFIABLE:
             reported = objective.offset
         if tracer.enabled:

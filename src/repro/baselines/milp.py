@@ -19,6 +19,7 @@ import math
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..core.options import SolverOptions, merge_solver_options
 from ..core.result import (
     OPTIMAL,
     SATISFIABLE,
@@ -42,12 +43,17 @@ class MILPSolver:
     def __init__(
         self,
         instance: PBInstance,
+        options: Optional[SolverOptions] = None,
+        *,
         time_limit: Optional[float] = None,
         max_nodes: Optional[int] = None,
     ):
         self._instance = instance
-        self._time_limit = time_limit
-        self._max_nodes = max_nodes
+        self._options = merge_solver_options(options, time_limit=time_limit)
+        self._time_limit = self._options.time_limit
+        self._max_nodes = (
+            max_nodes if max_nodes is not None else self._options.max_decisions
+        )
         self.stats = SolverStats()
         self.nodes = 0
 
@@ -57,9 +63,11 @@ class MILPSolver:
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance
         objective = instance.objective
+        options = self._options
 
         upper = objective.max_value + 1
         best_assignment: Optional[Dict[int, int]] = None
+        external_cost: Optional[int] = None
         status: Optional[str] = None
         stack: List[Dict[int, int]] = [{}]
 
@@ -70,6 +78,17 @@ class MILPSolver:
             if self._max_nodes is not None and self.nodes >= self._max_nodes:
                 status = UNKNOWN
                 break
+            if options.should_stop is not None and options.should_stop():
+                self.stats.interrupted = True
+                status = UNKNOWN
+                break
+            if options.external_bound is not None and not objective.is_constant:
+                imported = options.external_bound()
+                if imported is not None and imported - objective.offset < upper:
+                    upper = imported - objective.offset
+                    best_assignment = None  # the model lives elsewhere
+                    external_cost = imported
+                    self.stats.external_bounds += 1
             fixed = stack.pop()
             self.nodes += 1
 
@@ -83,7 +102,12 @@ class MILPSolver:
                 if cost < upper:
                     upper = cost
                     best_assignment = self._complete(fixed)
+                    external_cost = None
                     self.stats.solutions_found += 1
+                    if options.on_incumbent is not None:
+                        options.on_incumbent(
+                            cost + objective.offset, dict(best_assignment)
+                        )
                     if objective.is_constant:
                         break  # feasibility problem: first model suffices
                 continue
@@ -113,7 +137,12 @@ class MILPSolver:
                     if cost < upper:
                         upper = cost
                         best_assignment = assignment
+                        external_cost = None
                         self.stats.solutions_found += 1
+                        if options.on_incumbent is not None:
+                            options.on_incumbent(
+                                cost + objective.offset, dict(assignment)
+                            )
                         if objective.is_constant:
                             break  # feasibility problem: stop at a model
                 continue
@@ -126,14 +155,18 @@ class MILPSolver:
             stack.append(toward)
 
         if status is None:
-            status = OPTIMAL if best_assignment is not None else UNSATISFIABLE
+            if best_assignment is not None or external_cost is not None:
+                status = OPTIMAL
+            else:
+                status = UNSATISFIABLE
             if best_assignment is not None and objective.is_constant:
                 status = SATISFIABLE
         self.stats.decisions = self.nodes
         self.stats.elapsed = time.monotonic() - start
-        best_cost = (
-            upper + objective.offset if best_assignment is not None else None
-        )
+        if best_assignment is not None:
+            best_cost = upper + objective.offset
+        else:
+            best_cost = external_cost
         return SolveResult(
             status,
             best_cost=best_cost,

@@ -70,8 +70,14 @@ class DecisionSearch:
         self,
         deadline: Optional[float] = None,
         max_conflicts: Optional[int] = None,
+        stop=None,
     ) -> Tuple[str, Optional[Dict[int, int]]]:
-        """Search for a model; resumable after more constraints arrive."""
+        """Search for a model; resumable after more constraints arrive.
+
+        ``stop`` is a zero-argument cooperative-interrupt callable
+        (polled at the same cadence as the deadline); when it returns
+        True the search stops with outcome ``STOPPED``.
+        """
         if self._root_conflict:
             return UNSAT, None
         propagator = self._propagator
@@ -81,8 +87,11 @@ class DecisionSearch:
         loop = 0
         while True:
             loop += 1
-            if deadline is not None and loop % 64 == 0 and time.monotonic() > deadline:
-                return STOPPED, None
+            if loop % 64 == 0:
+                if deadline is not None and time.monotonic() > deadline:
+                    return STOPPED, None
+                if stop is not None and stop():
+                    return STOPPED, None
             if (
                 max_conflicts is not None
                 and self.conflicts - start_conflicts > max_conflicts

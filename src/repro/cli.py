@@ -15,26 +15,45 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from .experiments.runner import SOLVER_NAMES, run_one
+from .api import available_solvers, solver_descriptions
+from .experiments.runner import run_one
 from .obs.report import format_profile
 from .obs.trace import JsonlTracer
 from .pb.opb import parse_file
 
 
 def build_parser() -> argparse.ArgumentParser:
+    solver_lines = "\n".join(
+        "  %-16s %s" % (name, description)
+        for name, description in solver_descriptions().items()
+    )
     parser = argparse.ArgumentParser(
         prog="bsolo",
         description=(
             "Pseudo-boolean optimizer with lower bounding "
             "(reproduction of Manquinho & Marques-Silva, DATE 2005)"
         ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="registered solvers:\n%s\n\nTable 1 aliases: pbs, galena, "
+               "cplex, scherzo" % solver_lines,
     )
     parser.add_argument("instance", help="path to an .opb file")
     parser.add_argument(
         "--solver",
         default="bsolo-lpr",
-        choices=SOLVER_NAMES,
-        help="solver configuration (default: bsolo-lpr)",
+        choices=available_solvers(include_aliases=True),
+        metavar="NAME",
+        help="registered solver name (default: bsolo-lpr); see the list below",
+    )
+    parser.add_argument(
+        "--portfolio",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run an N-worker parallel portfolio (diversified solver "
+            "configurations with incumbent exchange) instead of --solver"
+        ),
     )
     parser.add_argument(
         "--time-limit",
@@ -122,30 +141,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.progress_interval < 1:
         parser.error("--progress-interval must be >= 1")
+    if args.portfolio is not None and args.portfolio < 1:
+        parser.error("--portfolio must be >= 1")
+    if args.portfolio is not None and args.trace:
+        parser.error(
+            "--trace is not supported with --portfolio (trace sinks cannot "
+            "cross the worker process boundary)"
+        )
     instance = parse_file(args.instance)
 
-    tracer = None
-    if args.trace:
-        try:
-            tracer = JsonlTracer(args.trace)
-        except OSError as exc:
-            parser.error("cannot open --trace file: %s" % exc)
-        tracer.instance_label = args.instance
-    try:
-        record = run_one(
-            args.solver,
-            instance,
-            args.instance,
-            args.time_limit,
-            tracer=tracer,
-            profile=args.profile,
-            on_progress=_print_progress if args.progress else None,
-            progress_interval=args.progress_interval,
+    if args.portfolio is not None:
+        import time as _time
+
+        from .portfolio import PortfolioSolver
+
+        solver = PortfolioSolver(
+            instance, workers=args.portfolio, time_limit=args.time_limit
         )
-    finally:
-        if tracer is not None:
-            tracer.close()
-    result = record.result
+        started = _time.monotonic()
+        result = solver.solve()
+        seconds = _time.monotonic() - started
+        solver_label = "portfolio-%d" % args.portfolio
+        print("c portfolio workers=%d winner=%s incumbents_shared=%d failures=%d"
+              % (args.portfolio, result.stats.winner,
+                 result.stats.incumbents_shared, result.stats.failures))
+    else:
+        tracer = None
+        if args.trace:
+            try:
+                tracer = JsonlTracer(args.trace)
+            except OSError as exc:
+                parser.error("cannot open --trace file: %s" % exc)
+            tracer.instance_label = args.instance
+        try:
+            record = run_one(
+                args.solver,
+                instance,
+                args.instance,
+                args.time_limit,
+                tracer=tracer,
+                profile=args.profile,
+                on_progress=_print_progress if args.progress else None,
+                progress_interval=args.progress_interval,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        result = record.result
+        seconds = record.seconds
+        solver_label = args.solver
 
     print("s %s" % result.status.upper())
     if result.best_cost is not None:
@@ -156,7 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for var, value in sorted(result.best_assignment.items())
         ]
         print("v " + " ".join(literals))
-    print("c time %.3fs" % record.seconds)
+    print("c time %.3fs" % seconds)
     if args.profile:
         for line in format_profile(
             result.stats.phase_times, result.stats.elapsed
@@ -167,10 +211,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.stats_json:
         payload = {
             "instance": args.instance,
-            "solver": args.solver,
+            "solver": solver_label,
             "status": result.status,
             "cost": result.best_cost,
-            "seconds": round(record.seconds, 6),
+            "seconds": round(seconds, 6),
             "stats": result.stats.as_dict(),
         }
         with open(args.stats_json, "w") as handle:

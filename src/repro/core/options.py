@@ -52,6 +52,10 @@ class SolverOptions:
         profile: bool = False,
         on_progress=None,
         progress_interval: int = 1000,
+        on_incumbent=None,
+        external_bound=None,
+        should_stop=None,
+        poll_interval: int = 16,
     ):
         if lower_bound not in _METHODS:
             raise ValueError(
@@ -61,6 +65,8 @@ class SolverOptions:
             raise ValueError("lb_frequency must be >= 1")
         if progress_interval < 1:
             raise ValueError("progress_interval must be >= 1")
+        if poll_interval < 1:
+            raise ValueError("poll_interval must be >= 1")
         #: Which lower bound estimation procedure to run (Section 3).
         self.lower_bound = lower_bound
         #: Estimate the bound every k-th decision node (1 = every node).
@@ -127,6 +133,25 @@ class SolverOptions:
         #: before the first bound call).
         self.on_progress = on_progress
         self.progress_interval = progress_interval
+        #: Incumbent callback ``(cost, assignment) -> None`` fired on
+        #: every improving solution (cost includes the objective offset).
+        #: The portfolio runner uses this to publish incumbents to the
+        #: other workers; fires alongside the legacy ``on_new_solution``.
+        self.on_incumbent = on_incumbent
+        #: Cooperative bound import: a zero-argument callable returning
+        #: the best cost known *outside* this solver (offset included),
+        #: or None.  Polled every ``poll_interval`` search steps; a value
+        #: below the current upper bound tightens it exactly as if a
+        #: solution of that cost had been found locally (eq. 10 cuts are
+        #: generated from the imported bound too).
+        self.external_bound = external_bound
+        #: Cooperative interrupt: a zero-argument callable returning True
+        #: when the solver should stop and report its best-so-far (the
+        #: portfolio runner passes ``Event.is_set``).  Polled together
+        #: with ``external_bound``.
+        self.should_stop = should_stop
+        #: Search steps between polls of ``external_bound``/``should_stop``.
+        self.poll_interval = poll_interval
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, Any]:
@@ -155,7 +180,34 @@ class SolverOptions:
             "max_learned": self.max_learned,
             "profile": self.profile,
             "progress_interval": self.progress_interval,
+            "poll_interval": self.poll_interval,
         }
+
+    # ------------------------------------------------------------------
+    def as_kwargs(self) -> Dict[str, Any]:
+        """Every constructor argument with its current value (callbacks
+        and tracer included), suitable for ``SolverOptions(**kwargs)``."""
+        kwargs = self.describe()
+        kwargs.update(
+            on_new_solution=self.on_new_solution,
+            tracer=self.tracer,
+            on_progress=self.on_progress,
+            on_incumbent=self.on_incumbent,
+            external_bound=self.external_bound,
+            should_stop=self.should_stop,
+        )
+        return kwargs
+
+    def replace(self, **overrides) -> "SolverOptions":
+        """A copy of these options with some fields overridden."""
+        kwargs = self.as_kwargs()
+        unknown = set(overrides) - set(kwargs)
+        if unknown:
+            raise TypeError(
+                "unknown option(s): %s" % ", ".join(sorted(unknown))
+            )
+        kwargs.update(overrides)
+        return SolverOptions(**kwargs)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -177,3 +229,23 @@ class SolverOptions:
 
     def __repr__(self) -> str:
         return "SolverOptions(lower_bound=%r)" % self.lower_bound
+
+
+def merge_solver_options(options: Optional[SolverOptions], **legacy) -> SolverOptions:
+    """Combine an optional :class:`SolverOptions` with legacy per-solver
+    keyword overrides (``time_limit=...`` etc.); explicitly passed
+    (non-None, non-False) legacy values win over the options object.
+
+    The baseline solvers accept both styles — the uniform
+    ``(instance, options)`` constructor of the registry and their
+    original keyword arguments — and funnel both through this helper.
+    """
+    base = options if options is not None else SolverOptions()
+    effective = {
+        key: value
+        for key, value in legacy.items()
+        if value is not None and value is not False
+    }
+    if not effective:
+        return base
+    return base.replace(**effective)

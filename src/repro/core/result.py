@@ -39,6 +39,13 @@ class SolveResult:
         self.solver_name = solver_name
 
     @property
+    def model(self) -> Optional[Dict[int, int]]:
+        """Canonical name for the best assignment (``{var: 0/1}``); may
+        be None even for a known ``best_cost`` when the witnessing
+        solution was found by *another* portfolio worker."""
+        return self.best_assignment
+
+    @property
     def is_optimal(self) -> bool:
         return self.status == OPTIMAL
 

@@ -114,6 +114,15 @@ class BsoloSolver:
         # excluded); results add the offset back.
         self._upper = self._objective.max_value + 1
         self._best_assignment: Optional[Dict[int, int]] = None
+        #: Cheapest cost imported through ``set_upper_bound`` /
+        #: ``external_bound`` (offset included); the witnessing model is
+        #: held by whoever published the bound, not by this solver.
+        self._external_cost: Optional[int] = None
+        self._cooperative = (
+            self._options.should_stop is not None
+            or self._options.external_bound is not None
+        )
+        self._poll_countdown = self._options.poll_interval
         self._deadline: Optional[float] = None
         self._node_counter = 0
         self._assumptions: List[int] = []
@@ -183,6 +192,26 @@ class BsoloSolver:
             tracer.flush()
         logger.debug("solve finished: %r (%s)", result, self.stats)
         return result
+
+    def set_upper_bound(self, cost: int) -> bool:
+        """Inform the search that a solution of ``cost`` (offset
+        included) exists elsewhere — the portfolio incumbent protocol.
+
+        Tightens the pruning threshold when ``cost`` beats everything
+        known locally; any now-dominated local incumbent is dropped (its
+        witnessing model lives with whoever published the bound).
+        Returns True when the bound actually tightened.
+        """
+        path_cost = cost - self._objective.offset
+        if path_cost >= self._upper:
+            return False
+        self._upper = path_cost
+        self._external_cost = cost
+        # The local incumbent's cost was the previous ``_upper``, hence
+        # strictly worse than the imported solution.
+        self._best_assignment = None
+        self.stats.external_bounds += 1
+        return True
 
     def _collect_lb_stats(self) -> None:
         detail: Dict[str, Dict[str, float]] = {}
@@ -273,6 +302,13 @@ class BsoloSolver:
         while True:
             if self._budget_exhausted():
                 return self._timeout()
+            if self._cooperative:
+                self._poll_countdown -= 1
+                if self._poll_countdown <= 0:
+                    self._poll_countdown = self._options.poll_interval
+                    outcome = self._poll_cooperative()
+                    if outcome is not None:
+                        return outcome
 
             if profiling:
                 timer.push("propagate")
@@ -345,6 +381,52 @@ class BsoloSolver:
                     )
                 )
             propagator.decide(literal)
+
+    # ------------------------------------------------------------------
+    # Cooperative hooks (portfolio protocol)
+    # ------------------------------------------------------------------
+    def _poll_cooperative(self) -> Optional[SolveResult]:
+        """Check the interrupt and bound-import hooks; a returned result
+        ends the search (stop requested, or the imported bound proved
+        the remaining search space empty)."""
+        options = self._options
+        if options.should_stop is not None and options.should_stop():
+            self.stats.interrupted = True
+            return self._timeout()
+        if options.external_bound is not None and not self._objective.is_constant:
+            cost = options.external_bound()
+            if cost is not None:
+                return self._import_bound(cost)
+        return None
+
+    def _import_bound(self, cost: int) -> Optional[SolveResult]:
+        """Apply an externally published incumbent cost mid-search.
+
+        Beyond tightening ``P.upper`` this generates the Section 5 cuts
+        from the imported bound, exactly as a locally found solution
+        would — the imported incumbent prunes through propagation, not
+        just through the bound comparison.
+        """
+        if not self.set_upper_bound(cost):
+            return None
+        if self._options.upper_bound_cuts:
+            self._timer.push("cuts")
+            cuts, proven = self._cut_generator.cuts_for(self._upper)
+            self._timer.pop()
+            if proven:
+                return self._finish()
+            for cut in cuts:
+                conflict = self._propagator.add_constraint(cut)
+                self.stats.cuts_added += 1
+                if self._tracer.enabled:
+                    self._tracer.emit(CutEvent(size=len(cut)))
+                if conflict is not None and not self._resolve(
+                    conflict.literals,
+                    conflict.stored.constraint if conflict.stored else None,
+                ):
+                    return self._finish()
+            self._cut_constraints = list(cuts)
+        return None
 
     # ------------------------------------------------------------------
     # Periodic progress (callback + trace heartbeat)
@@ -514,6 +596,8 @@ class BsoloSolver:
                 )
             if self._options.on_new_solution is not None:
                 self._options.on_new_solution(reported, dict(assignment))
+            if self._options.on_incumbent is not None:
+                self._options.on_incumbent(reported, dict(assignment))
 
         if self._objective.is_constant:
             return SolveResult(
@@ -654,16 +738,25 @@ class BsoloSolver:
                 stats=self.stats,
                 solver_name=self.name,
             )
+        if self._external_cost is not None:
+            # The search ruled out every solution cheaper than the
+            # imported incumbent: that incumbent — held by another
+            # portfolio worker — is optimal.
+            return SolveResult(
+                OPTIMAL,
+                best_cost=self._external_cost,
+                stats=self.stats,
+                solver_name=self.name,
+            )
         return SolveResult(
             UNSATISFIABLE, stats=self.stats, solver_name=self.name
         )
 
     def _timeout(self) -> SolveResult:
-        best_cost = (
-            self._upper + self._objective.offset
-            if self._best_assignment is not None
-            else None
-        )
+        if self._best_assignment is not None:
+            best_cost = self._upper + self._objective.offset
+        else:
+            best_cost = self._external_cost
         return SolveResult(
             UNKNOWN,
             best_cost=best_cost,

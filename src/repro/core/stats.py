@@ -43,6 +43,11 @@ class SolverStats:
         self.resolution_steps = 0
         #: Periodic progress reports fired (callback and/or trace).
         self.progress_reports = 0
+        #: Times an external (portfolio-shared) incumbent tightened the
+        #: upper bound of this solver mid-search.
+        self.external_bounds = 0
+        #: The cooperative-interrupt hook ended the search early.
+        self.interrupted = False
         #: Wall-clock seconds spent in solve().
         self.elapsed = 0.0
         #: Exclusive per-phase wall time (propagate / analyze /
@@ -85,6 +90,8 @@ class SolverStats:
             "restarts": self.restarts,
             "resolution_steps": self.resolution_steps,
             "progress_reports": self.progress_reports,
+            "external_bounds": self.external_bounds,
+            "interrupted": self.interrupted,
             "elapsed": self.elapsed,
             "phase_times": dict(self.phase_times),
             "lb_stats": {key: dict(value) for key, value in self.lb_stats.items()},

@@ -37,6 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--scale", type=float, default=1.0)
     table1.add_argument("--fast", action="store_true", help="count=2, 2s budget")
     table1.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="add a parallel-portfolio column to the matrix",
+    )
+    table1.add_argument(
         "--stats-jsonl",
         metavar="FILE",
         default=None,
@@ -75,8 +80,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         count = 2 if args.fast else args.count
         time_limit = 2.0 if args.fast else args.time_limit
+        solver_names = tuple(SOLVER_NAMES)
+        if args.portfolio:
+            solver_names = solver_names + ("portfolio",)
         result = generate_table1(
-            time_limit=time_limit, count=count, scale=args.scale
+            time_limit=time_limit,
+            count=count,
+            scale=args.scale,
+            solver_names=solver_names,
         )
         print(format_table1(result))
         print()

@@ -12,13 +12,9 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..baselines.covering_bnb import CoveringBnBSolver
-from ..baselines.cutting_planes import CuttingPlanesSolver
-from ..baselines.linear_search import LinearSearchSolver
-from ..baselines.milp import MILPSolver
+from ..api import make_solver as _registry_make_solver
 from ..core.options import SolverOptions
 from ..core.result import SolveResult
-from ..core.solver import BsoloSolver
 from ..pb.instance import PBInstance
 
 #: Table 1 column order.
@@ -47,34 +43,22 @@ def make_solver(
 ):
     """Instantiate a registered solver for one instance.
 
-    Beyond the Table 1 columns, ``scherzo`` (classical covering branch &
-    bound, clause-only instances) and ``bsolo-hybrid`` are available.
-    The observability hooks (``tracer``, ``profile``, ``on_progress``)
-    are honoured by the bsolo configurations and the ``pbs`` comparator;
-    the remaining baselines ignore them.
+    Thin wrapper over the :mod:`repro.api` registry, keeping the paper's
+    Table 1 column names (``pbs``/``galena``/``cplex``/``scherzo`` are
+    registry aliases).  Beyond the Table 1 columns, every registered
+    solver — ``bsolo-hybrid``, ``covering-bnb``, ``portfolio``, … — is
+    available.  The observability hooks (``tracer``, ``profile``,
+    ``on_progress``) are honoured by the solvers that support them and
+    ignored by the rest.
     """
-    if name == "pbs":
-        return LinearSearchSolver(
-            instance, time_limit=time_limit, tracer=tracer, profile=profile
-        )
-    if name == "galena":
-        return CuttingPlanesSolver(instance, time_limit=time_limit)
-    if name == "cplex":
-        return MILPSolver(instance, time_limit=time_limit)
-    if name == "scherzo":
-        return CoveringBnBSolver(instance, time_limit=time_limit)
-    if name.startswith("bsolo-"):
-        method = name.split("-", 1)[1]
-        options = SolverOptions(
-            lower_bound=method,
-            time_limit=time_limit,
-            tracer=tracer,
-            profile=profile,
-            on_progress=on_progress,
-            progress_interval=progress_interval,
-        )
-        return BsoloSolver(instance, options)
-    raise ValueError("unknown solver %r (choose from %s)" % (name, SOLVER_NAMES))
+    options = SolverOptions(
+        time_limit=time_limit,
+        tracer=tracer,
+        profile=profile,
+        on_progress=on_progress,
+        progress_interval=progress_interval,
+    )
+    return _registry_make_solver(instance, name, options)
 
 
 class RunRecord:

@@ -1,0 +1,105 @@
+"""Aggregated statistics for a portfolio run.
+
+:class:`PortfolioStats` extends the per-solver :class:`SolverStats` so a
+portfolio result plugs into everything that already consumes stats (the
+CLI's ``--stats``/``--stats-json``, the experiments' JSONL records, the
+obs reports): the base counters hold the *sum over workers* — total
+search effort bought with the wall-clock time in ``elapsed`` — and the
+``portfolio`` section of :meth:`as_dict` holds the per-worker outcomes,
+the incumbent-exchange traffic and the failure log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.stats import SolverStats
+
+#: Aggregate counters summed from the worker stats dicts.
+_SUMMED_FIELDS = (
+    "decisions",
+    "logic_conflicts",
+    "bound_conflicts",
+    "propagations",
+    "lower_bound_calls",
+    "prunings",
+    "learned_constraints",
+    "pb_resolvents",
+    "cuts_added",
+    "solutions_found",
+    "backjump_total",
+    "necessary_assignments",
+    "restarts",
+    "resolution_steps",
+    "progress_reports",
+    "external_bounds",
+)
+
+
+class PortfolioStats(SolverStats):
+    """Sum-over-workers counters plus portfolio-level accounting."""
+
+    def __init__(self):
+        super().__init__()
+        #: One entry per worker: label, solver, outcome, timings, and the
+        #: worker's own stats dict (or an ``error`` string on failure).
+        self.workers: List[Dict[str, Any]] = []
+        #: Incumbent messages received by the coordinator.
+        self.incumbents_shared = 0
+        #: Workers that crashed, were terminated, or died silently.
+        self.failures = 0
+        #: Label of the worker whose result became the portfolio's.
+        self.winner: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def add_worker_result(self, label: str, solver: str, status: str,
+                          cost: Optional[int], seconds: float,
+                          stats_dict: Dict[str, Any]) -> None:
+        self.workers.append(
+            {
+                "label": label,
+                "solver": solver,
+                "status": status,
+                "cost": cost,
+                "seconds": round(seconds, 6),
+                "stats": stats_dict,
+            }
+        )
+        for field in _SUMMED_FIELDS:
+            value = stats_dict.get(field)
+            if value:
+                setattr(self, field, getattr(self, field) + int(value))
+        jump = int(stats_dict.get("backjump_max") or 0)
+        if jump > self.backjump_max:
+            self.backjump_max = jump
+        for phase, seconds_in_phase in (stats_dict.get("phase_times") or {}).items():
+            self.phase_times[phase] = (
+                self.phase_times.get(phase, 0.0) + seconds_in_phase
+            )
+
+    def add_worker_failure(self, label: str, solver: str, error: str) -> None:
+        self.failures += 1
+        self.workers.append(
+            {
+                "label": label,
+                "solver": solver,
+                "status": "failed",
+                "error": error,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        data = super().as_dict()
+        data["portfolio"] = {
+            "workers": [dict(entry) for entry in self.workers],
+            "incumbents_shared": self.incumbents_shared,
+            "failures": self.failures,
+            "winner": self.winner,
+        }
+        return data
+
+    def __repr__(self) -> str:
+        return "PortfolioStats(workers=%d, failures=%d, incumbents=%d, elapsed=%.3fs)" % (
+            len(self.workers), self.failures, self.incumbents_shared, self.elapsed
+        )

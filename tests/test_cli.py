@@ -82,6 +82,42 @@ class TestMain:
         exit_code = cli.main([opt_file, "--time-limit", "30"])
         assert exit_code == 0
 
+    def test_help_lists_registered_solvers(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("bsolo-lpr", "linear-search", "milp", "portfolio"):
+            assert name in out
+
+
+class TestPortfolioFlag:
+    def test_portfolio_run(self, opt_file, tmp_path, capsys):
+        json_path = str(tmp_path / "stats.json")
+        exit_code = cli.main(
+            [opt_file, "--portfolio", "2", "--time-limit", "60",
+             "--stats-json", json_path]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "s OPTIMAL" in out
+        assert "o 4" in out
+        assert "c portfolio workers=2" in out
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        assert payload["solver"] == "portfolio-2"
+        assert payload["stats"]["portfolio"]["failures"] == 0
+
+    def test_portfolio_rejects_bad_count(self, opt_file):
+        with pytest.raises(SystemExit):
+            cli.main([opt_file, "--portfolio", "0"])
+
+    def test_portfolio_rejects_trace(self, opt_file, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(
+                [opt_file, "--portfolio", "2",
+                 "--trace", str(tmp_path / "t.jsonl")]
+            )
+
 
 class TestObservabilityFlags:
     def test_stats_floats_have_six_decimals(self, opt_file, capsys):
