@@ -111,14 +111,16 @@ def solve(
     solver: str = "bsolo",
     options: Optional[SolverOptions] = None,
     timeout: Optional[float] = None,
+    propagation: Optional[str] = None,
 ) -> SolveResult:
     """Solve ``instance`` with any registered solver; the façade.
 
-    ``timeout`` (seconds) overrides ``options.time_limit`` when given.
-    For backward compatibility with the original
-    ``solve(instance, options)`` signature, a :class:`SolverOptions`
-    passed as the second positional argument selects the default bsolo
-    solver with those options.
+    ``timeout`` (seconds) overrides ``options.time_limit`` when given;
+    ``propagation`` overrides ``options.propagation`` (a backend name
+    from :func:`repro.engine.available_engines`).  For backward
+    compatibility with the original ``solve(instance, options)``
+    signature, a :class:`SolverOptions` passed as the second positional
+    argument selects the default bsolo solver with those options.
     """
     if isinstance(solver, SolverOptions):
         if options is not None:
@@ -126,6 +128,8 @@ def solve(
         solver, options = "bsolo", solver
     if timeout is not None:
         options = (options or SolverOptions()).replace(time_limit=timeout)
+    if propagation is not None:
+        options = (options or SolverOptions()).replace(propagation=propagation)
     return make_solver(instance, solver, options).solve()
 
 

@@ -73,7 +73,10 @@ class CuttingPlanesSolver:
         options = self._options
         cut_generator = CutGenerator(instance, cardinality_cuts=False)
 
-        search = DecisionSearch(instance.num_variables, pb_learning=True)
+        search = DecisionSearch(
+            instance.num_variables, pb_learning=True,
+            propagation=options.propagation,
+        )
         search.add_constraints(instance.constraints)
 
         best_cost: Optional[int] = None  # path scale, local or imported

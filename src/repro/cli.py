@@ -16,6 +16,7 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from .api import available_solvers, solver_descriptions
+from .engine import available_engines, engine_descriptions
 from .experiments.runner import run_one
 from .obs.report import format_profile
 from .obs.trace import JsonlTracer
@@ -27,6 +28,10 @@ def build_parser() -> argparse.ArgumentParser:
         "  %-16s %s" % (name, description)
         for name, description in solver_descriptions().items()
     )
+    engine_lines = "\n".join(
+        "  %-16s %s" % (name, description)
+        for name, description in engine_descriptions().items()
+    )
     parser = argparse.ArgumentParser(
         prog="bsolo",
         description=(
@@ -34,8 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Manquinho & Marques-Silva, DATE 2005)"
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
-        epilog="registered solvers:\n%s\n\nTable 1 aliases: pbs, galena, "
-               "cplex, scherzo" % solver_lines,
+        epilog="registered solvers:\n%s\n\npropagation backends:\n%s\n\n"
+               "Table 1 aliases: pbs, galena, cplex, scherzo"
+               % (solver_lines, engine_lines),
     )
     parser.add_argument("instance", help="path to an .opb file")
     parser.add_argument(
@@ -53,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run an N-worker parallel portfolio (diversified solver "
             "configurations with incumbent exchange) instead of --solver"
+        ),
+    )
+    parser.add_argument(
+        "--propagation",
+        default="counter",
+        choices=available_engines(),
+        metavar="ENGINE",
+        help=(
+            "propagation backend (default: counter); see the list below"
         ),
     )
     parser.add_argument(
@@ -183,6 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 profile=args.profile,
                 on_progress=_print_progress if args.progress else None,
                 progress_interval=args.progress_interval,
+                propagation=args.propagation,
             )
         finally:
             if tracer is not None:

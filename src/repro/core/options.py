@@ -40,6 +40,7 @@ class SolverOptions:
         restart_interval: int = 100,
         phase_saving: bool = False,
         pb_learning: bool = False,
+        propagation: str = "counter",
         on_new_solution=None,
         time_limit: Optional[float] = None,
         max_conflicts: Optional[int] = None,
@@ -104,6 +105,12 @@ class SolverOptions:
         #: Learn cutting-plane resolvents alongside first-UIP clauses
         #: (Galena-style PB learning; post-paper extension).
         self.pb_learning = pb_learning
+        #: Propagation backend name (``repro.engine.available_engines()``):
+        #: ``"counter"`` for eager slack counters (the reference engine),
+        #: ``"watched"`` for watched-literal/watched-sum propagation.
+        #: Validated lazily by ``make_engine`` so third-party backends
+        #: registered after option construction still work.
+        self.propagation = propagation
         #: Progress callback ``(cost, assignment) -> None`` invoked on
         #: every improving solution (cost includes the objective offset).
         self.on_new_solution = on_new_solution
@@ -171,6 +178,7 @@ class SolverOptions:
             "restart_interval": self.restart_interval,
             "phase_saving": self.phase_saving,
             "pb_learning": self.pb_learning,
+            "propagation": self.propagation,
             "time_limit": self.time_limit,
             "max_conflicts": self.max_conflicts,
             "max_decisions": self.max_decisions,

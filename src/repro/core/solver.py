@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..covering.reductions import reduce_covering
 from ..engine.activity import VSIDSActivity
 from ..engine.conflict import RootConflictError, analyze, highest_level
-from ..engine.propagation import Propagator
+from ..engine.interface import make_engine
 from ..engine.pb_resolution import derive_resolvent
 from ..engine.restarts import RestartScheduler
 from ..lagrangian.subgradient import LagrangianBound, SubgradientOptions
@@ -84,7 +84,8 @@ class BsoloSolver:
         tracer = self._options.tracer
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._timer = PhaseTimer() if self._options.profile else NULL_TIMER
-        self._propagator = Propagator(
+        self._propagator = make_engine(
+            self._options.propagation,
             instance.num_variables,
             tracer=self._tracer if self._tracer.enabled else None,
         )

@@ -9,14 +9,36 @@ Chaff VSIDS branching heuristic (Section 5).
 from .activity import VSIDSActivity
 from .assignment import Reason, Trail, UNASSIGNED
 from .conflict import AnalysisResult, RootConflictError, analyze, highest_level
-from .constraint_db import ConstraintDatabase, StoredConstraint
-from .propagation import Conflict, Propagator
+from .constraint_db import (
+    KIND_CARDINALITY,
+    KIND_CLAUSE,
+    KIND_GENERAL,
+    ConstraintDatabase,
+    StoredConstraint,
+    WatchedConstraintDatabase,
+    classify,
+)
+from .interface import (
+    Conflict,
+    PropagationEngine,
+    UnknownEngineError,
+    available_engines,
+    engine_descriptions,
+    make_engine,
+    register_engine,
+)
+from .propagation import Propagator
 from .restarts import RestartScheduler, luby
+from .watched import WatchedPropagator
 
 __all__ = [
     "AnalysisResult",
     "Conflict",
     "ConstraintDatabase",
+    "KIND_CARDINALITY",
+    "KIND_CLAUSE",
+    "KIND_GENERAL",
+    "PropagationEngine",
     "Propagator",
     "Reason",
     "RestartScheduler",
@@ -24,8 +46,16 @@ __all__ = [
     "StoredConstraint",
     "Trail",
     "UNASSIGNED",
+    "UnknownEngineError",
     "VSIDSActivity",
+    "WatchedConstraintDatabase",
+    "WatchedPropagator",
     "analyze",
-    "luby",
+    "available_engines",
+    "classify",
+    "engine_descriptions",
     "highest_level",
+    "luby",
+    "make_engine",
+    "register_engine",
 ]

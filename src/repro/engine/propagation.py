@@ -1,6 +1,8 @@
 """Counter-based boolean constraint propagation for PB constraints.
 
-For a normalized constraint ``sum a_j l_j >= b`` define::
+This is the **reference backend** of the :class:`PropagationEngine`
+protocol (registry name ``"counter"``).  For a normalized constraint
+``sum a_j l_j >= b`` define::
 
     slack = sum_{l_j not false} a_j  -  b
 
@@ -15,40 +17,26 @@ eagerly too, as clausal explanations: a greedy (largest coefficients
 first) subset of the constraint's false literals strong enough to force
 the implication — this keeps conflict analysis purely clausal, the
 strategy of the bsolo family of solvers.
+
+The eager per-assignment work — O(occurrences) slack updates on every
+assignment and undo — is what the ``"watched"`` backend
+(:mod:`repro.engine.watched`) eliminates.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional
 
-from ..obs.events import PropagationEvent
 from ..pb.constraints import Constraint
-from ..pb.literals import variable
-from .assignment import Reason, Trail
 from .constraint_db import ConstraintDatabase, StoredConstraint
+from .interface import Conflict, PropagationEngine, register_engine
+
+__all__ = ["Conflict", "Propagator"]
 
 
-class Conflict:
-    """A violated constraint plus a clausal explanation.
-
-    ``literals`` are all false under the current trail; together they are
-    sufficient for the violation.  For bound conflicts (paper Section 4)
-    ``stored`` is ``None`` and the literals come from ``w_bc``.
-    """
-
-    __slots__ = ("stored", "literals")
-
-    def __init__(self, stored: Optional[StoredConstraint], literals: Tuple[int, ...]):
-        self.stored = stored
-        self.literals = literals
-
-    def __repr__(self) -> str:
-        return "Conflict(%r)" % (self.literals,)
-
-
-class Propagator:
-    """Drives assignments, slack maintenance and implication discovery.
+class Propagator(PropagationEngine):
+    """Counter-based engine: eager slacks, occurrence-list updates.
 
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) is optional; when
     given and enabled, every :meth:`propagate` call that produced
@@ -56,20 +44,12 @@ class Propagator:
     untouched — the accounting rides on the existing counter.
     """
 
+    name = "counter"
+
     def __init__(self, num_variables: int, tracer=None):
-        self.trail = Trail(num_variables)
+        super().__init__(num_variables, tracer=tracer)
         self.database = ConstraintDatabase(self.trail)
         self._pending: Deque[StoredConstraint] = deque()
-        self.num_propagations = 0
-        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
-        self._batch_mark = 0
-        if self._tracer is None:
-            # Skip the batch-accounting wrapper entirely on the null path.
-            self.propagate = self._propagate_loop  # type: ignore[method-assign]
-        # var -> the PB constraint that implied it (for cutting-plane
-        # learning; the clausal reason on the trail is authoritative for
-        # clausal analysis)
-        self._antecedent: dict = {}
 
     # ------------------------------------------------------------------
     # Constraint management
@@ -91,36 +71,9 @@ class Propagator:
         return None
 
     # ------------------------------------------------------------------
-    # Assignment entry points
+    # Eager slack maintenance on every assignment
     # ------------------------------------------------------------------
-    def decide(self, literal: int) -> None:
-        """Open a new decision level with ``literal`` true."""
-        self.trail.decide(literal)
-        self._after_assign(literal)
-
-    def imply(
-        self,
-        literal: int,
-        reason: Reason,
-        antecedent: Optional[Constraint] = None,
-    ) -> None:
-        """Assert an implication at the current level."""
-        self.trail.imply(literal, reason)
-        if antecedent is not None:
-            self._antecedent[variable(literal)] = antecedent
-        self._after_assign(literal)
-
-    def antecedent(self, var: int) -> Optional[Constraint]:
-        """The PB constraint that implied ``var`` (None for decisions or
-        externally asserted literals)."""
-        return self._antecedent.get(var)
-
-    def assume(self, literal: int) -> None:
-        """Root-level assignment (preprocessing, necessary assignments)."""
-        self.trail.assume(literal)
-        self._after_assign(literal)
-
-    def _after_assign(self, literal: int) -> None:
+    def _on_assign(self, literal: int) -> None:
         pending = self._pending
         for stored in self.database.on_literal_true(literal):
             # enqueue only when the constraint might act: it is violated,
@@ -132,28 +85,6 @@ class Propagator:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
-    def propagate(self) -> Optional[Conflict]:
-        """Run boolean constraint propagation to a fixed point.
-
-        Returns the first conflict discovered, or ``None``.  The pending
-        queue is fully drained either way (slacks stay consistent; stale
-        entries are re-checked cheaply).
-        """
-        if self._tracer is None:
-            return self._propagate_loop()
-        conflict = self._propagate_loop()
-        delta = self.num_propagations - self._batch_mark
-        self._batch_mark = self.num_propagations
-        if delta or conflict is not None:
-            self._tracer.emit(
-                PropagationEvent(
-                    count=delta,
-                    level=self.trail.decision_level,
-                    conflict=conflict is not None,
-                )
-            )
-        return conflict
-
     def _propagate_loop(self) -> Optional[Conflict]:
         while self._pending:
             stored = self._pending.popleft()
@@ -164,7 +95,7 @@ class Propagator:
             if stored.slack >= stored.max_coef:
                 continue  # nothing can be implied
             conflict = self._scan_implications(stored)
-            if conflict is not None:
+            if conflict is not None:  # pragma: no cover - scan never conflicts
                 self._clear_pending()
                 return conflict
         return None
@@ -193,68 +124,13 @@ class Propagator:
         return None
 
     # ------------------------------------------------------------------
-    # Explanations
-    # ------------------------------------------------------------------
-    def _false_terms_descending(
-        self, stored: StoredConstraint
-    ) -> List[Tuple[int, int]]:
-        trail = self.trail
-        false_terms = [
-            (coef, lit)
-            for coef, lit in stored.constraint.terms
-            if trail.literal_is_false(lit)
-        ]
-        false_terms.sort(key=lambda term: -term[0])
-        return false_terms
-
-    def _build_reason(self, stored: StoredConstraint, literal: int, coef: int) -> Reason:
-        """Clausal reason for ``literal`` implied by ``stored``.
-
-        Needs false literals whose combined coefficient exceeds
-        ``total - rhs - coef`` (after which the remaining supply cannot
-        reach the rhs without ``literal``).
-        """
-        constraint = stored.constraint
-        total = sum(c for c, _ in constraint.terms)
-        needed = total - constraint.rhs - coef
-        chosen: List[int] = [literal]
-        acc = 0
-        for false_coef, false_lit in self._false_terms_descending(stored):
-            if acc > needed:
-                break
-            chosen.append(false_lit)
-            acc += false_coef
-        if acc <= needed:  # pragma: no cover - defensive
-            raise AssertionError("implication reason under-explains %r" % constraint)
-        return tuple(chosen)
-
-    def explain_violation(self, stored: StoredConstraint) -> Tuple[int, ...]:
-        """False literals sufficient for ``slack < 0``.
-
-        Their combined coefficient must exceed ``total - rhs``.
-        """
-        constraint = stored.constraint
-        total = sum(c for c, _ in constraint.terms)
-        needed = total - constraint.rhs
-        chosen: List[int] = []
-        acc = 0
-        for false_coef, false_lit in self._false_terms_descending(stored):
-            if acc > needed:
-                break
-            chosen.append(false_lit)
-            acc += false_coef
-        if acc <= needed:
-            raise AssertionError("constraint %r is not violated" % constraint)
-        return tuple(chosen)
-
-    # ------------------------------------------------------------------
     # Backtracking
     # ------------------------------------------------------------------
     def backtrack(self, target_level: int) -> None:
         """Undo assignments above ``target_level`` and restore slacks."""
         for lit in self.trail.backtrack(target_level):
             self.database.on_literal_unassigned(lit)
-            self._antecedent.pop(variable(lit), None)
+            self._antecedent.pop(lit if lit > 0 else -lit, None)
         self._clear_pending()
         # Constraints that became unit again are rediscovered lazily: any
         # implication missed here can only matter after the caller asserts
@@ -289,9 +165,9 @@ class Propagator:
             self._pending = fresh
         return removed
 
-    # ------------------------------------------------------------------
-    def model(self) -> dict:
-        """The current (complete) assignment as a var -> 0/1 mapping."""
-        if not self.trail.all_assigned():
-            raise ValueError("model requested from partial assignment")
-        return self.trail.assignment()
+
+register_engine(
+    "counter",
+    Propagator,
+    "eager slack counters over occurrence lists (reference backend)",
+)

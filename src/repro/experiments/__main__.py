@@ -8,6 +8,7 @@ Examples::
     python -m repro.experiments scaling --family ptl --sizes 8 12 16
     python -m repro.experiments ablations --family mcnc
     python -m repro.experiments export --directory instances/
+    python -m repro.experiments propbench --output BENCH_propagation.json
 """
 
 from __future__ import annotations
@@ -18,6 +19,8 @@ from typing import List, Optional
 
 from .ablations import format_ablations, run_ablations
 from .bounds import bound_quality, format_bound_quality
+from .propbench import FAMILIES as PROPBENCH_FAMILIES
+from .propbench import format_summary, run_propbench, write_report
 from .reporting import format_table1
 from .runner import SOLVER_NAMES
 from .scaling import crossover_size, format_sweep, scaling_sweep
@@ -72,6 +75,30 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--directory", default="instances")
     export.add_argument("--count", type=int, default=5)
     export.add_argument("--scale", type=float, default=1.0)
+
+    propbench = sub.add_parser(
+        "propbench",
+        help="race the propagation backends (counter vs watched)",
+    )
+    propbench.add_argument(
+        "--families", nargs="+", default=list(PROPBENCH_FAMILIES),
+        choices=PROPBENCH_FAMILIES,
+    )
+    propbench.add_argument("--count", type=int, default=3)
+    propbench.add_argument("--scale", type=float, default=1.0)
+    propbench.add_argument("--rounds", type=int, default=120)
+    propbench.add_argument("--trials", type=int, default=3)
+    propbench.add_argument("--max-conflicts", type=int, default=800)
+    propbench.add_argument("--time-limit", type=float, default=60.0)
+    propbench.add_argument(
+        "--no-solve", action="store_true",
+        help="skip the end-to-end solve-mode runs (drive mode only)",
+    )
+    propbench.add_argument(
+        "--quick", action="store_true",
+        help="tiny instances and budgets (CI smoke configuration)",
+    )
+    propbench.add_argument("--output", default="BENCH_propagation.json")
     return parser
 
 
@@ -129,6 +156,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.directory, count=args.count, scale=args.scale
         )
         print("wrote %d instances under %s" % (len(written), args.directory))
+    elif args.command == "propbench":
+        if args.quick:
+            args.count, args.scale = 2, 0.25
+            args.rounds, args.trials = 10, 1
+            args.max_conflicts, args.time_limit = 200, 10.0
+        report = run_propbench(
+            families=args.families,
+            count=args.count,
+            scale=args.scale,
+            rounds=args.rounds,
+            trials=args.trials,
+            max_conflicts=args.max_conflicts,
+            time_limit=args.time_limit,
+            solve=not args.no_solve,
+        )
+        print(format_summary(report))
+        path = write_report(report, args.output)
+        print("wrote %s" % path)
     return 0
 
 

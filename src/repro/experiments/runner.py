@@ -40,6 +40,7 @@ def make_solver(
     profile: bool = False,
     on_progress=None,
     progress_interval: int = 1000,
+    propagation: str = "counter",
 ):
     """Instantiate a registered solver for one instance.
 
@@ -48,8 +49,8 @@ def make_solver(
     registry aliases).  Beyond the Table 1 columns, every registered
     solver — ``bsolo-hybrid``, ``covering-bnb``, ``portfolio``, … — is
     available.  The observability hooks (``tracer``, ``profile``,
-    ``on_progress``) are honoured by the solvers that support them and
-    ignored by the rest.
+    ``on_progress``) and the ``propagation`` backend name are honoured
+    by the solvers that support them and ignored by the rest.
     """
     options = SolverOptions(
         time_limit=time_limit,
@@ -57,6 +58,7 @@ def make_solver(
         profile=profile,
         on_progress=on_progress,
         progress_interval=progress_interval,
+        propagation=propagation,
     )
     return _registry_make_solver(instance, name, options)
 
@@ -111,6 +113,7 @@ def run_one(
     profile: bool = False,
     on_progress=None,
     progress_interval: int = 1000,
+    propagation: str = "counter",
 ) -> RunRecord:
     """Run one solver on one instance with a wall-clock budget."""
     solver = make_solver(
@@ -121,6 +124,7 @@ def run_one(
         profile=profile,
         on_progress=on_progress,
         progress_interval=progress_interval,
+        propagation=propagation,
     )
     start = time.monotonic()
     result = solver.solve()

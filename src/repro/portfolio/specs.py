@@ -57,14 +57,18 @@ class WorkerSpec:
 
 
 #: The diversification ladder: each rung is (solver, option overrides).
+#: The propagation backend is a diversification axis too: watched-literal
+#: rungs race the counter rungs, so whichever engine fits the instance's
+#: constraint mix (clause-heavy vs dense PB) reaches the optimum first.
 _DEFAULT_LADDER = (
     ("bsolo-lpr", {}),
-    ("bsolo-mis", {"restarts": True, "phase_saving": True}),
-    ("linear-search", {}),
+    ("bsolo-mis", {"restarts": True, "phase_saving": True,
+                   "propagation": "watched"}),
+    ("linear-search", {"propagation": "watched"}),
     ("bsolo-lgr", {}),
     ("bsolo-hybrid", {"pb_learning": True}),
     ("cutting-planes", {}),
-    ("bsolo-plain", {"restarts": True}),
+    ("bsolo-plain", {"restarts": True, "propagation": "watched"}),
     ("milp", {}),
 )
 

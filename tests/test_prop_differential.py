@@ -1,0 +1,189 @@
+"""Differential harness: the counter and watched backends must agree.
+
+Three layers of evidence:
+
+* a randomized lockstep fuzz driving both engines through the same
+  decide/propagate/backtrack script and comparing implied sets,
+  conflict outcomes and assignment values at every step;
+* full solves on small instances from each benchmark family, which
+  must reach the same status and the same optimum cost;
+* a smoke run of the propbench harness, whose drive mode replays one
+  seeded walk on both backends and checks lockstep propagation counts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.benchgen import generate_planted, ptl_suite, routing_suite
+from repro.core import OPTIMAL, BsoloSolver, SolverOptions
+from repro.engine.interface import Conflict, make_engine
+from repro.experiments.propbench import (
+    family_instances,
+    format_summary,
+    run_propbench,
+    write_report,
+)
+from repro.pb.constraints import Constraint
+
+BACKENDS = ("counter", "watched")
+
+
+# ----------------------------------------------------------------------
+# Lockstep fuzz
+# ----------------------------------------------------------------------
+def _random_constraint(rng: random.Random, num_vars: int) -> Constraint:
+    kind = rng.randrange(3)
+    arity = rng.randint(1, min(6, num_vars))
+    variables = rng.sample(range(1, num_vars + 1), arity)
+    lits = [v if rng.random() < 0.5 else -v for v in variables]
+    if kind == 0:
+        return Constraint.clause(lits)
+    if kind == 1:
+        return Constraint.at_least(lits, rng.randint(1, arity))
+    coefs = [rng.randint(1, 7) for _ in lits]
+    rhs = rng.randint(1, max(1, sum(coefs) - 1))
+    return Constraint.greater_equal(list(zip(coefs, lits)), rhs)
+
+
+def _run_lockstep_seed(seed: int) -> None:
+    rng = random.Random(seed)
+    num_vars = rng.randint(4, 14)
+    num_cons = rng.randint(2, 20)
+    engines = [make_engine(name, num_vars) for name in BACKENDS]
+    # interleave adds with decisions to exercise add-under-assignment
+    constraints = [_random_constraint(rng, num_vars) for _ in range(num_cons)]
+    for step in range(rng.randint(10, 60)):
+        op = rng.random()
+        if constraints and op < 0.25:
+            constraint = constraints.pop()
+            results = [engine.add_constraint(constraint) for engine in engines]
+            kinds = [isinstance(result, Conflict) for result in results]
+            assert kinds[0] == kinds[1], ("add mismatch", seed, step)
+            if kinds[0]:
+                return  # both conflicted at add; stop this seed
+        elif op < 0.65:
+            free = [
+                v
+                for v in range(1, num_vars + 1)
+                if engines[0].trail.value(v) < 0
+            ]
+            if not free:
+                continue
+            var = rng.choice(free)
+            lit = var if rng.random() < 0.5 else -var
+            for engine in engines:
+                engine.decide(lit)
+            results = [engine.propagate() for engine in engines]
+            kinds = [isinstance(result, Conflict) for result in results]
+            assert kinds[0] == kinds[1], ("conflict mismatch", seed, step)
+            if kinds[0]:
+                level = engines[0].trail.decision_level
+                target = rng.randint(0, max(0, level - 1))
+                for engine in engines:
+                    engine.backtrack(target)
+            else:
+                # the implied-literal fixpoint of a *non-conflicting*
+                # propagate call is part of the equivalence contract
+                implied = [set(engine.trail.literals) for engine in engines]
+                assert implied[0] == implied[1], (
+                    "implied mismatch",
+                    seed,
+                    step,
+                    implied[0] ^ implied[1],
+                )
+        else:
+            level = engines[0].trail.decision_level
+            if level == 0:
+                continue
+            target = rng.randint(0, level - 1)
+            for engine in engines:
+                engine.backtrack(target)
+        trails = [engine.trail for engine in engines]
+        for v in range(1, num_vars + 1):
+            assert trails[0].value(v) == trails[1].value(v), (
+                "value mismatch",
+                seed,
+                step,
+                v,
+            )
+
+
+class TestLockstepFuzz:
+    @pytest.mark.parametrize("block", range(4))
+    def test_backends_agree_under_random_scripts(self, block):
+        for seed in range(block * 20, (block + 1) * 20):
+            _run_lockstep_seed(seed)
+
+
+# ----------------------------------------------------------------------
+# Full-solve agreement
+# ----------------------------------------------------------------------
+def _small_instances():
+    instances = []
+    instances += [("ptl", inst) for inst in ptl_suite(2, seed=11, nodes=8, extra_edges=4)]
+    instances += [("grout", inst) for inst in routing_suite(1, seed=3)]
+    instances += [
+        (
+            "random",
+            generate_planted(
+                num_variables=12,
+                num_constraints=18,
+                max_arity=6,
+                max_coefficient=5,
+                seed=41,
+            )[0],
+        )
+    ]
+    return instances
+
+
+class TestFullSolveAgreement:
+    def test_same_status_and_optimum_on_every_family(self):
+        for label, instance in _small_instances():
+            outcomes = {}
+            for backend in BACKENDS:
+                options = SolverOptions.plain(
+                    propagation=backend, time_limit=30.0
+                )
+                result = BsoloSolver(instance, options).solve()
+                outcomes[backend] = result
+            statuses = {backend: r.status for backend, r in outcomes.items()}
+            assert len(set(statuses.values())) == 1, (label, statuses)
+            if outcomes["counter"].status == OPTIMAL:
+                costs = {backend: r.best_cost for backend, r in outcomes.items()}
+                assert len(set(costs.values())) == 1, (label, costs)
+
+
+# ----------------------------------------------------------------------
+# Propbench smoke
+# ----------------------------------------------------------------------
+class TestPropbenchSmoke:
+    def test_quick_report_round_trip(self, tmp_path):
+        report = run_propbench(
+            families=("ptl",),
+            count=1,
+            scale=0.2,
+            rounds=4,
+            trials=1,
+            solve=False,
+        )
+        drive = report["families"]["ptl"]["drive"]
+        assert drive["lockstep_props_equal"]
+        for backend in BACKENDS:
+            assert drive[backend]["propagations"] >= 0
+        summary = format_summary(report)
+        assert "propagation microbenchmark" in summary
+        path = write_report(report, str(tmp_path / "bench.json"))
+        with open(path) as handle:
+            assert json.load(handle)["benchmark"] == "propagation"
+
+    def test_family_instances_cover_all_families(self):
+        for family in ("ptl", "grout", "random"):
+            instances = family_instances(family, count=1, scale=0.2)
+            assert instances and instances[0].num_variables > 0
+        with pytest.raises(ValueError):
+            family_instances("nope")
