@@ -15,7 +15,6 @@ propagation thrashes.
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -30,9 +29,10 @@ from ..core.result import (
 from ..core.stats import SolverStats
 from ..lp.simplex import INFEASIBLE, OPTIMAL as LP_OPTIMAL, SimplexSolver
 from ..lp.standard_form import build_lp_data
+from ..lp.tolerances import ROUND_EPS, ceil_guarded
 from ..pb.instance import PBInstance
 
-_INT_TOL = 1e-6
+_INT_TOL = ROUND_EPS
 
 
 class MILPSolver:
@@ -120,7 +120,7 @@ class MILPSolver:
                 continue
             if result.status != LP_OPTIMAL:
                 continue  # give up on this node conservatively
-            bound = path + int(math.ceil(result.objective - 1e-6))
+            bound = path + ceil_guarded(result.objective)
             if bound >= upper:
                 self.stats.prunings += 1
                 continue

@@ -78,6 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget (default: unlimited)",
     )
     parser.add_argument(
+        "--lb-schedule",
+        default="static",
+        choices=["static", "adaptive"],
+        metavar="POLICY",
+        help=(
+            "bound-call scheduling policy (bsolo-* solvers): 'static' "
+            "bounds every lb-frequency-th node, 'adaptive' tunes the "
+            "interval from the recent prune rate (default: static)"
+        ),
+    )
+    parser.add_argument(
+        "--cold-bounds",
+        action="store_true",
+        help=(
+            "disable the incremental bounders (trail-delta MIS cache, "
+            "warm-started simplex) and recompute every bound from scratch"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print search statistics",
@@ -199,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 on_progress=_print_progress if args.progress else None,
                 progress_interval=args.progress_interval,
                 propagation=args.propagation,
+                lb_schedule=args.lb_schedule,
+                incremental_bounds=not args.cold_bounds,
             )
         finally:
             if tracer is not None:

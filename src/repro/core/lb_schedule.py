@@ -1,0 +1,173 @@
+"""Bound-call scheduling policies.
+
+The paper computes a lower bound at *every* search node; our
+``lb_frequency`` option generalized that to every k-th node, statically.
+This module turns the decision into a policy object consulted by
+:meth:`BsoloSolver._should_bound`:
+
+``StaticSchedule``
+    Bit-compatible with the historical behaviour: bound when
+    ``(node_counter - 1) % lb_frequency == 0``.
+
+``AdaptiveSchedule``
+    Tracks an exponentially weighted prune rate.  While bound calls keep
+    pruning, the interval between calls shrinks (down to every node);
+    when calls stop paying for themselves the interval doubles (up to a
+    cap), so deep dives through unprunable regions stop paying the LP
+    tax at every node.  For hybrid mode it also tracks how often the
+    cheap MIS pre-filter is the one that prunes: when MIS has not pruned
+    anything recently the pre-filter is skipped and the node escalates
+    straight to the expensive bounder, with a periodic re-probe so MIS
+    can win back its slot after the incumbent tightens.
+
+Both policies expose ``stats_dict`` (merged into
+``SolverStats.lb_stats["scheduler"]``) so benchmark reports can show the
+effective bounding rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: EWMA smoothing for prune/payoff rates (one bound call = one sample).
+_EWMA_ALPHA = 0.15
+#: Prune rate above which the interval shrinks, below which it grows.
+_GROW_BELOW = 0.05
+_SHRINK_ABOVE = 0.20
+#: Re-probe a benched MIS pre-filter after this many skips.
+_PREFILTER_RETRY = 64
+#: MIS payoff below which the pre-filter is benched.
+_PREFILTER_MIN_RATE = 0.02
+
+
+class StaticSchedule:
+    """The classic modulo-``lb_frequency`` policy."""
+
+    name = "static"
+
+    def __init__(self, lb_frequency: int):
+        self._frequency = lb_frequency
+        self._node_counter = 0
+        self.calls = 0
+
+    def should_bound(self) -> bool:
+        """Called once per candidate node; True = compute a bound now."""
+        self._node_counter += 1
+        decided = (self._node_counter - 1) % self._frequency == 0
+        if decided:
+            self.calls += 1
+        return decided
+
+    def record(self, pruned: bool, seconds: float, method: str) -> None:
+        """Outcome feedback — ignored: the static policy never adapts."""
+
+    def use_prefilter(self) -> bool:
+        """Hybrid MIS pre-filter gate (always on for static)."""
+        return True
+
+    def stats_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.name,
+            "nodes_seen": self._node_counter,
+            "bound_calls": self.calls,
+        }
+
+
+class AdaptiveSchedule:
+    """Prune-rate-driven interval control with MIS escalation."""
+
+    name = "adaptive"
+
+    def __init__(self, lb_frequency: int, max_interval: int = 64):
+        # The configured frequency seeds the interval so an explicitly
+        # sparse configuration starts sparse; adaptation takes over from
+        # the first recorded outcome.
+        self._interval = max(1, lb_frequency)
+        self._max_interval = max(max_interval, self._interval)
+        self._since_last = 0
+        self._node_counter = 0
+        self._prune_rate = 0.5  # optimistic prior: bound early, learn fast
+        self._prefilter_rate = 0.5
+        self._prefilter_skips = 0
+        self.calls = 0
+        self.skipped_nodes = 0
+        self.prefilter_skips_total = 0
+        self.interval_min = self._interval
+        self.interval_max = self._interval
+
+    # ------------------------------------------------------------------
+    def should_bound(self) -> bool:
+        """Called once per candidate node; True = compute a bound now."""
+        self._node_counter += 1
+        self._since_last += 1
+        if self._since_last < self._interval:
+            self.skipped_nodes += 1
+            return False
+        self._since_last = 0
+        self.calls += 1
+        return True
+
+    def record(self, pruned: bool, seconds: float, method: str) -> None:
+        """Feed one bound-call outcome back into the policy.
+
+        ``method`` is the bounder that produced the result ("mis" when
+        the hybrid pre-filter pruned on its own).  ``seconds`` is the
+        call's cost; it weighs the growth step: expensive useless calls
+        back off faster than cheap ones.
+        """
+        sample = 1.0 if pruned else 0.0
+        self._prune_rate += _EWMA_ALPHA * (sample - self._prune_rate)
+        if method == "mis":
+            self._prefilter_rate += _EWMA_ALPHA * (1.0 - self._prefilter_rate)
+        elif pruned:
+            # The expensive bounder pruned where MIS did not.
+            self._prefilter_rate += _EWMA_ALPHA * (0.0 - self._prefilter_rate)
+        if pruned or self._prune_rate >= _SHRINK_ABOVE:
+            if self._interval > 1:
+                self._interval //= 2
+        elif self._prune_rate < _GROW_BELOW:
+            # Expensive calls (> 10ms) that do not prune double the
+            # interval immediately; cheap ones need a sustained drought.
+            if seconds > 0.01 or self._prune_rate < _GROW_BELOW / 2:
+                if self._interval < self._max_interval:
+                    self._interval *= 2
+        self.interval_min = min(self.interval_min, self._interval)
+        self.interval_max = max(self.interval_max, self._interval)
+
+    def use_prefilter(self) -> bool:
+        """Whether the hybrid MIS pre-filter is worth running this call.
+
+        Benched when its recent payoff is negligible; re-probed every
+        ``_PREFILTER_RETRY`` skipped calls so a tightened incumbent can
+        bring it back.
+        """
+        if self._prefilter_rate >= _PREFILTER_MIN_RATE:
+            return True
+        self._prefilter_skips += 1
+        self.prefilter_skips_total += 1
+        if self._prefilter_skips >= _PREFILTER_RETRY:
+            self._prefilter_skips = 0
+            self._prefilter_rate = _PREFILTER_MIN_RATE  # probation
+            return True
+        return False
+
+    def stats_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.name,
+            "nodes_seen": self._node_counter,
+            "bound_calls": self.calls,
+            "skipped_nodes": self.skipped_nodes,
+            "interval": self._interval,
+            "interval_min": self.interval_min,
+            "interval_max": self.interval_max,
+            "prune_rate": round(self._prune_rate, 4),
+            "prefilter_rate": round(self._prefilter_rate, 4),
+            "prefilter_skips": self.prefilter_skips_total,
+        }
+
+
+def make_schedule(options) -> StaticSchedule:
+    """Policy object for ``options.lb_schedule``."""
+    if options.lb_schedule == "adaptive":
+        return AdaptiveSchedule(options.lb_frequency)
+    return StaticSchedule(options.lb_frequency)

@@ -20,6 +20,12 @@ HYBRID = "hybrid"
 
 _METHODS = (PLAIN, MIS, LGR, LPR, HYBRID)
 
+#: Bound scheduling policies (see :mod:`repro.core.lb_schedule`).
+STATIC = "static"
+ADAPTIVE = "adaptive"
+
+_SCHEDULES = (STATIC, ADAPTIVE)
+
 
 class SolverOptions:
     """All tunables of :class:`~repro.core.solver.BsoloSolver`."""
@@ -28,6 +34,8 @@ class SolverOptions:
         self,
         lower_bound: str = LPR,
         lb_frequency: int = 1,
+        lb_schedule: str = STATIC,
+        incremental_bounds: bool = True,
         bound_conflict_learning: bool = True,
         upper_bound_cuts: bool = True,
         cardinality_cuts: bool = True,
@@ -64,6 +72,10 @@ class SolverOptions:
             )
         if lb_frequency < 1:
             raise ValueError("lb_frequency must be >= 1")
+        if lb_schedule not in _SCHEDULES:
+            raise ValueError(
+                "lb_schedule must be one of %s, got %r" % (_SCHEDULES, lb_schedule)
+            )
         if progress_interval < 1:
             raise ValueError("progress_interval must be >= 1")
         if poll_interval < 1:
@@ -72,6 +84,17 @@ class SolverOptions:
         self.lower_bound = lower_bound
         #: Estimate the bound every k-th decision node (1 = every node).
         self.lb_frequency = lb_frequency
+        #: Bound scheduling policy: ``"static"`` reproduces the classic
+        #: modulo-``lb_frequency`` check; ``"adaptive"`` adjusts the
+        #: bounding interval from the recent prune rate and skips or
+        #: escalates the hybrid MIS pre-filter from its recent payoff
+        #: (see :mod:`repro.core.lb_schedule`).
+        self.lb_schedule = lb_schedule
+        #: Feed trail deltas to the bounders so MIS re-evaluates only the
+        #: constraints touched since the previous call and the LP bound
+        #: re-solves from its previous basis (warm start).  Disabling
+        #: restores the cold per-node computations.
+        self.incremental_bounds = incremental_bounds
         #: Learn w_bc and backtrack non-chronologically on bound conflicts
         #: (Section 4).  When False, bound conflicts backtrack
         #: chronologically over the full decision path (the
@@ -166,6 +189,8 @@ class SolverOptions:
         return {
             "lower_bound": self.lower_bound,
             "lb_frequency": self.lb_frequency,
+            "lb_schedule": self.lb_schedule,
+            "incremental_bounds": self.incremental_bounds,
             "bound_conflict_learning": self.bound_conflict_learning,
             "upper_bound_cuts": self.upper_bound_cuts,
             "cardinality_cuts": self.cardinality_cuts,

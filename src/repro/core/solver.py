@@ -56,6 +56,7 @@ from .bound_conflicts import (
 )
 from .branching import Brancher
 from .cuts import CutGenerator
+from .lb_schedule import make_schedule
 from .options import HYBRID, LGR, LPR, MIS, PLAIN, SolverOptions
 from .preprocess import probe_necessary_assignments
 from .result import (
@@ -108,6 +109,13 @@ class BsoloSolver:
         )
         self._prefilter = None  # set by _make_bounder for "hybrid"
         self._bounder = self._make_bounder()
+        self._schedule = make_schedule(self._options)
+        if self._options.incremental_bounds:
+            # Feed trail deltas to the bounders that can exploit them
+            # (incremental MIS cache, warm-started LP).
+            for bounder in (self._prefilter, self._bounder):
+                if bounder is not None and hasattr(bounder, "attach_trail"):
+                    bounder.attach_trail(self._propagator.trail)
         self._cut_constraints: List[Constraint] = []
         self._lp_values: Dict[int, float] = {}
 
@@ -125,7 +133,6 @@ class BsoloSolver:
         )
         self._poll_countdown = self._options.poll_interval
         self._deadline: Optional[float] = None
-        self._node_counter = 0
         self._assumptions: List[int] = []
         #: Most recent lower-bound estimate (path + bound), for progress.
         self._last_lower: Optional[int] = None
@@ -148,7 +155,9 @@ class BsoloSolver:
         if method == HYBRID:
             self._prefilter = MISBound(self._instance)
         return LPRelaxationBound(
-            self._instance, max_iterations=self._options.lp_max_iterations
+            self._instance,
+            max_iterations=self._options.lp_max_iterations,
+            warm=self._options.incremental_bounds,
         )
 
     # ------------------------------------------------------------------
@@ -220,6 +229,8 @@ class BsoloSolver:
             detail["mis_prefilter"] = self._prefilter.stats_dict()
         if self._bounder is not None:
             detail[self._bounder.name] = self._bounder.stats_dict()
+        if self._bounder is not None or self._prefilter is not None:
+            detail["scheduler"] = self._schedule.stats_dict()
         self.stats.lb_stats = detail
 
     # ------------------------------------------------------------------
@@ -353,7 +364,13 @@ class BsoloSolver:
                 continue
 
             if self._bounder is not None and self._should_bound():
+                bound_start = time.monotonic()
                 pruned, exhausted = self._apply_lower_bound()
+                self._schedule.record(
+                    pruned,
+                    time.monotonic() - bound_start,
+                    self._last_bound_method,
+                )
                 if pruned:
                     self._maybe_progress()
                 if exhausted:
@@ -459,8 +476,7 @@ class BsoloSolver:
     # Lower bounding (Sections 3-4)
     # ------------------------------------------------------------------
     def _should_bound(self) -> bool:
-        self._node_counter += 1
-        return (self._node_counter - 1) % self._options.lb_frequency == 0
+        return self._schedule.should_bound()
 
     def _apply_lower_bound(self) -> Tuple[bool, bool]:
         """Estimate ``P.lower``; prune on a bound conflict.
@@ -540,9 +556,11 @@ class BsoloSolver:
 
     def _compute_bound(self, fixed: Dict[int, int], path: int) -> LowerBound:
         timer = self._timer
-        if self._prefilter is not None:
+        if self._prefilter is not None and self._schedule.use_prefilter():
             # hybrid mode: if the cheap MIS bound already prunes (or
-            # detects infeasibility), skip the LP entirely.
+            # detects infeasibility), skip the LP entirely.  The adaptive
+            # schedule benches the pre-filter while its payoff is
+            # negligible, escalating straight to the LP.
             timer.push("lower_bound.mis")
             cheap = self._prefilter.compute(fixed, self._cut_constraints)
             timer.pop()

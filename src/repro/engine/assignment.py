@@ -21,6 +21,32 @@ Reason = Tuple[int, ...]
 UNASSIGNED = -1
 
 
+class TrailDelta:
+    """Accumulates the variables assigned *or* unassigned since the last
+    drain — the feed behind incremental lower bounding.
+
+    Consumers register through :meth:`Trail.register_delta` and call
+    :meth:`drain` at each bound computation; between drains the trail
+    adds every variable it pushes or pops.  A variable that was assigned
+    and then backtracked still appears (conservative: consumers
+    re-evaluate it), and draining resets the set.
+    """
+
+    __slots__ = ("changed",)
+
+    def __init__(self):
+        self.changed: set = set()
+
+    def add(self, var: int) -> None:
+        self.changed.add(var)
+
+    def drain(self) -> set:
+        """Return-and-reset the changed-variable set."""
+        changed = self.changed
+        self.changed = set()
+        return changed
+
+
 class Trail:
     """Chronological assignment stack over variables ``1..num_variables``."""
 
@@ -34,6 +60,18 @@ class Trail:
         self._level_start: List[int] = [0]  # trail index where each level begins
         # last value each variable ever took (phase saving; 0 initially)
         self._saved_phase: List[int] = [0] * (num_variables + 1)
+        # registered TrailDelta feeds (empty in the common case, so the
+        # hot push/pop paths pay only a truthiness check)
+        self._deltas: List[TrailDelta] = []
+
+    # ------------------------------------------------------------------
+    # Change feeds (incremental lower bounding)
+    # ------------------------------------------------------------------
+    def register_delta(self) -> TrailDelta:
+        """A new :class:`TrailDelta` fed by every future push/pop."""
+        delta = TrailDelta()
+        self._deltas.append(delta)
+        return delta
 
     # ------------------------------------------------------------------
     # Queries
@@ -129,6 +167,9 @@ class Trail:
         self._reason[var] = reason
         self._saved_phase[var] = self._value[var]
         self._trail.append(literal)
+        if self._deltas:
+            for delta in self._deltas:
+                delta.changed.add(var)
 
     def backtrack(self, target_level: int) -> List[int]:
         """Undo every assignment above ``target_level``.
@@ -152,6 +193,9 @@ class Trail:
             self._reason[var] = None
             undone.append(lit)
         del self._level_start[target_level + 1 :]
+        if self._deltas and undone:
+            for delta in self._deltas:
+                delta.changed.update(variable(lit) for lit in undone)
         return undone
 
     def decision_at(self, level: int) -> int:

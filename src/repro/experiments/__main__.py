@@ -9,6 +9,7 @@ Examples::
     python -m repro.experiments ablations --family mcnc
     python -m repro.experiments export --directory instances/
     python -m repro.experiments propbench --output BENCH_propagation.json
+    python -m repro.experiments lbbench --output BENCH_lowerbound.json
 """
 
 from __future__ import annotations
@@ -19,6 +20,12 @@ from typing import List, Optional
 
 from .ablations import format_ablations, run_ablations
 from .bounds import bound_quality, format_bound_quality
+from .lbbench import FAMILIES as LBBENCH_FAMILIES
+from .lbbench import (
+    format_summary as format_lbbench_summary,
+    run_lbbench,
+    write_report as write_lbbench_report,
+)
 from .propbench import FAMILIES as PROPBENCH_FAMILIES
 from .propbench import format_summary, run_propbench, write_report
 from .reporting import format_table1
@@ -99,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny instances and budgets (CI smoke configuration)",
     )
     propbench.add_argument("--output", default="BENCH_propagation.json")
+
+    lbbench = sub.add_parser(
+        "lbbench",
+        help="race incremental vs cold lower bounding (MIS cache, warm LP)",
+    )
+    lbbench.add_argument(
+        "--families", nargs="+", default=list(LBBENCH_FAMILIES),
+        choices=LBBENCH_FAMILIES,
+    )
+    lbbench.add_argument("--count", type=int, default=3)
+    lbbench.add_argument("--scale", type=float, default=1.0)
+    lbbench.add_argument("--seed", type=int, default=1000)
+    lbbench.add_argument(
+        "--max-nodes", type=int, default=120,
+        help="bounded nodes per instance in the lockstep drive walk",
+    )
+    lbbench.add_argument("--max-conflicts", type=int, default=2000)
+    lbbench.add_argument("--time-limit", type=float, default=30.0)
+    lbbench.add_argument(
+        "--lower-bound", default="hybrid", choices=["mis", "lpr", "hybrid"],
+        help="bounder used by the solve-mode configurations",
+    )
+    lbbench.add_argument(
+        "--no-solve", action="store_true",
+        help="skip the end-to-end solve-mode runs (drive mode only)",
+    )
+    lbbench.add_argument(
+        "--quick", action="store_true",
+        help="tiny instances and budgets (CI smoke configuration)",
+    )
+    lbbench.add_argument("--output", default="BENCH_lowerbound.json")
     return parser
 
 
@@ -173,6 +211,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(format_summary(report))
         path = write_report(report, args.output)
+        print("wrote %s" % path)
+    elif args.command == "lbbench":
+        if args.quick:
+            args.count, args.scale = 2, 0.5
+            args.max_nodes = 40
+            args.max_conflicts, args.time_limit = 400, 10.0
+        report = run_lbbench(
+            families=args.families,
+            count=args.count,
+            scale=args.scale,
+            seed=args.seed,
+            max_nodes=args.max_nodes,
+            max_conflicts=args.max_conflicts,
+            time_limit=args.time_limit,
+            lower_bound=args.lower_bound,
+            solve=not args.no_solve,
+        )
+        print(format_lbbench_summary(report))
+        path = write_lbbench_report(report, args.output)
         print("wrote %s" % path)
     return 0
 

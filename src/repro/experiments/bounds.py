@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 from ..core.options import SolverOptions
 from ..core.solver import BsoloSolver
 from ..lagrangian.subgradient import LagrangianBound, SubgradientOptions
-from ..lp.relaxation import LPRelaxationBound
+from ..lp.relaxation import root_lpr_bound
 from ..mis.independent_set import MISBound
 from ..pb.instance import PBInstance
 
@@ -81,7 +81,7 @@ def bound_quality(
         lgr_time = time.monotonic() - start
 
         start = time.monotonic()
-        lpr = LPRelaxationBound(instance).compute({}).value
+        lpr = root_lpr_bound(instance)
         lpr_time = time.monotonic() - start
 
         records.append(

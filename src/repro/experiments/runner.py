@@ -41,6 +41,8 @@ def make_solver(
     on_progress=None,
     progress_interval: int = 1000,
     propagation: str = "counter",
+    lb_schedule: str = "static",
+    incremental_bounds: bool = True,
 ):
     """Instantiate a registered solver for one instance.
 
@@ -59,6 +61,8 @@ def make_solver(
         on_progress=on_progress,
         progress_interval=progress_interval,
         propagation=propagation,
+        lb_schedule=lb_schedule,
+        incremental_bounds=incremental_bounds,
     )
     return _registry_make_solver(instance, name, options)
 
@@ -114,6 +118,8 @@ def run_one(
     on_progress=None,
     progress_interval: int = 1000,
     propagation: str = "counter",
+    lb_schedule: str = "static",
+    incremental_bounds: bool = True,
 ) -> RunRecord:
     """Run one solver on one instance with a wall-clock budget."""
     solver = make_solver(
@@ -125,6 +131,8 @@ def run_one(
         on_progress=on_progress,
         progress_interval=progress_interval,
         propagation=propagation,
+        lb_schedule=lb_schedule,
+        incremental_bounds=incremental_bounds,
     )
     start = time.monotonic()
     result = solver.solve()

@@ -34,6 +34,7 @@ from ..pb.constraints import Constraint
 from ..pb.instance import PBInstance
 from ..lp.relaxation import LowerBound
 from ..lp.standard_form import build_lp_data
+from ..lp.tolerances import ceil_guarded
 
 
 class SubgradientOptions:
@@ -171,8 +172,7 @@ class LagrangianBound:
 
         if best_value == -math.inf:  # pragma: no cover - defensive
             best_value = 0.0
-        bound = int(math.ceil(best_value - 1e-6))
-        bound = max(bound, 0)
+        bound = max(ceil_guarded(best_value), 0)
 
         if self._reuse_multipliers:
             self._mu_memory = {

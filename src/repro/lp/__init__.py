@@ -1,6 +1,13 @@
 """LP substrate: bounded simplex and the LPR lower bound (Section 3.1)."""
 
-from .relaxation import LowerBound, LPRelaxationBound, integer_floor_bound, root_lpr_bound
+from .relaxation import (
+    LowerBound,
+    LPRelaxationBound,
+    integer_ceil_bound,
+    integer_floor_bound,  # deprecated alias of integer_ceil_bound
+    root_lpr_bound,
+)
+from .tolerances import FEAS_TOL, ROUND_EPS, TIGHT_TOL, ceil_guarded
 from .simplex import (
     EQ,
     GE,
@@ -13,10 +20,12 @@ from .simplex import (
     UNBOUNDED,
     solve_lp,
 )
-from .standard_form import LPData, build_lp_data
+from .standard_form import FullLPData, LPData, build_full_lp_data, build_lp_data
 
 __all__ = [
     "EQ",
+    "FEAS_TOL",
+    "FullLPData",
     "GE",
     "INFEASIBLE",
     "ITERATION_LIMIT",
@@ -26,9 +35,14 @@ __all__ = [
     "LPResult",
     "LowerBound",
     "OPTIMAL",
+    "ROUND_EPS",
     "SimplexSolver",
+    "TIGHT_TOL",
     "UNBOUNDED",
+    "build_full_lp_data",
     "build_lp_data",
+    "ceil_guarded",
+    "integer_ceil_bound",
     "integer_floor_bound",
     "root_lpr_bound",
     "solve_lp",

@@ -16,6 +16,20 @@ taken first).
 Selection is greedy by contribution density (bound contribution divided
 by the number of free variables), the standard heuristic for approximate
 maximum independent sets of constraints.
+
+Incremental evaluation
+----------------------
+Consecutive search nodes differ by a handful of trail assignments, so
+:class:`MISBound` keeps one :class:`_ConstraintState` per constraint:
+the unit-cost term ordering is computed once (costs are static), and the
+last ``(value, false_literals, free_vars)`` evaluation is cached and
+re-used until a variable of the constraint is assigned or unassigned.
+Invalidation is driven by a :class:`~repro.engine.assignment.TrailDelta`
+feed (see :meth:`MISBound.attach_trail`) instead of rescanning the full
+``fixed`` mapping; without an attached trail every call conservatively
+re-evaluates everything, which is exactly the cold behaviour (the
+greedy selection itself is always re-run — it is global and cheap
+relative to the per-constraint knapsacks).
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ from ..pb.constraints import Constraint
 from ..pb.instance import PBInstance
 from ..pb.literals import variable
 from ..lp.relaxation import LowerBound
+from ..lp.tolerances import ceil_guarded
 
 
 def constraint_min_cost(
@@ -84,6 +99,73 @@ def constraint_min_cost(
     return total, false_literals, free_vars
 
 
+class _ConstraintState:
+    """Per-constraint incremental state.
+
+    ``sorted_terms`` is the unit-cost (stable) ordering of *all* terms,
+    computed once — restricting it to the currently free terms yields
+    exactly the order :func:`constraint_min_cost` would sort its free
+    list into, so the cached evaluation below is bit-for-bit identical
+    to the cold computation.
+    """
+
+    __slots__ = ("constraint", "sorted_terms", "variables", "result", "valid")
+
+    def __init__(self, constraint: Constraint, costs: Mapping[int, int]):
+        self.constraint = constraint
+
+        def unit_cost(term: Tuple[int, int]) -> float:
+            coef, lit = term
+            cost = costs.get(lit, 0) if lit > 0 else 0
+            return cost / coef
+
+        self.sorted_terms: Tuple[Tuple[int, int], ...] = tuple(
+            sorted(constraint.terms, key=unit_cost)
+        )
+        self.variables = frozenset(variable(lit) for _, lit in constraint.terms)
+        self.result: Optional[Tuple[Optional[float], List[int], Set[int]]] = None
+        self.valid = False
+
+    def evaluate(
+        self, fixed: Mapping[int, int], costs: Mapping[int, int]
+    ) -> Tuple[Optional[float], List[int], Set[int]]:
+        """Identical outcome to :func:`constraint_min_cost`, minus the
+        per-call sort."""
+        constraint = self.constraint
+        rhs = constraint.rhs
+        false_literals: List[int] = []
+        free_vars: Set[int] = set()
+        supply = 0
+        for coef, lit in constraint.terms:
+            var = lit if lit > 0 else -lit
+            value = fixed.get(var)
+            if value is None:
+                free_vars.add(var)
+                supply += coef
+                continue
+            if (value == 1) == (lit > 0):
+                rhs -= coef
+            else:
+                false_literals.append(lit)
+        if rhs <= 0:
+            return None, false_literals, free_vars
+        if supply < rhs:
+            return math.inf, false_literals, free_vars
+        remaining = rhs
+        total = 0.0
+        for coef, lit in self.sorted_terms:
+            if remaining <= 0:
+                break
+            var = lit if lit > 0 else -lit
+            if fixed.get(var) is not None:
+                continue
+            take = min(coef, remaining)
+            cost = costs.get(lit, 0) if lit > 0 else 0
+            total += cost * (take / coef)
+            remaining -= take
+        return total, false_literals, free_vars
+
+
 class MISBound:
     """Greedy maximum independent set of constraints lower bound."""
 
@@ -91,14 +173,44 @@ class MISBound:
 
     def __init__(self, instance: PBInstance):
         self._instance = instance
+        self._costs = instance.objective.costs
+        self._states = [
+            _ConstraintState(constraint, self._costs)
+            for constraint in instance.constraints
+        ]
+        #: var -> the instance-constraint states it appears in.
+        self._touching: Dict[int, List[_ConstraintState]] = {}
+        for state in self._states:
+            for var in state.variables:
+                self._touching.setdefault(var, []).append(state)
+        #: States for the extra (cut) constraints of the current call,
+        #: keyed by constraint; rebuilt whenever the cut list changes.
+        self._extra_states: Dict[Constraint, _ConstraintState] = {}
+        self._extras_key: Optional[Tuple[Constraint, ...]] = None
+        self._delta = None  # TrailDelta once attach_trail() is called
         self.num_calls = 0
         self.total_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def attach_trail(self, trail) -> None:
+        """Enable delta-driven invalidation: future calls re-evaluate
+        only the constraints touching variables assigned/unassigned on
+        ``trail`` since the previous call."""
+        self._delta = trail.register_delta()
+        for state in self._states:
+            state.valid = False
+        for state in self._extra_states.values():
+            state.valid = False
 
     def stats_dict(self) -> Dict[str, float]:
         """Structured per-bounder stats (merged into ``SolverStats``)."""
         return {
             "calls": self.num_calls,
             "seconds": round(self.total_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
     def compute(
@@ -113,25 +225,66 @@ class MISBound:
         finally:
             self.total_seconds += time.perf_counter() - started
 
+    # ------------------------------------------------------------------
+    def _sync_extras(
+        self, extras: Tuple[Constraint, ...]
+    ) -> List[_ConstraintState]:
+        """(Re)build the cut-constraint states when the cut list changes,
+        keeping still-present constraints' cached evaluations."""
+        if extras != self._extras_key:
+            old = self._extra_states
+            self._extra_states = {}
+            for constraint in extras:
+                state = old.get(constraint)
+                if state is None:
+                    state = _ConstraintState(constraint, self._costs)
+                self._extra_states[constraint] = state
+            self._extras_key = extras
+        return [self._extra_states[constraint] for constraint in extras]
+
     def _compute(
         self,
         fixed: Mapping[int, int],
         extra_constraints: Sequence[Constraint] = (),
     ) -> LowerBound:
         self.num_calls += 1
-        costs = self._instance.objective.costs
+        costs = self._costs
+        extra_states = self._sync_extras(tuple(extra_constraints))
+
+        if self._delta is None:
+            changed: Optional[Set[int]] = None  # no feed: re-evaluate all
+        else:
+            changed = self._delta.drain()
+        if changed is None:
+            for state in self._states:
+                state.valid = False
+            for state in extra_states:
+                state.valid = False
+        elif changed:
+            touching = self._touching
+            for var in changed:
+                for state in touching.get(var, ()):
+                    state.valid = False
+            for state in extra_states:
+                if not changed.isdisjoint(state.variables):
+                    state.valid = False
+
         candidates: List[Tuple[float, Constraint, List[int], Set[int]]] = []
-        for constraint in list(self._instance.constraints) + list(extra_constraints):
-            value, false_literals, free_vars = constraint_min_cost(
-                constraint, fixed, costs
-            )
+        for state in self._states + extra_states:
+            if state.valid:
+                self.cache_hits += 1
+            else:
+                state.result = state.evaluate(fixed, costs)
+                state.valid = True
+                self.cache_misses += 1
+            value, false_literals, free_vars = state.result
             if value is None:
                 continue
             if value == math.inf:
                 return LowerBound(0, infeasible=True)
             if value <= 0 or not free_vars:
                 continue
-            candidates.append((value, constraint, false_literals, free_vars))
+            candidates.append((value, state.constraint, false_literals, free_vars))
 
         # Greedy by contribution density; ties by raw contribution.
         candidates.sort(key=lambda item: (-item[0] / len(item[3]), -item[0]))
@@ -145,5 +298,5 @@ class MISBound:
             total += value
             explanation.append(constraint)
 
-        bound = int(math.ceil(total - 1e-6))
+        bound = ceil_guarded(total)
         return LowerBound(max(bound, 0), explanation=explanation)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.lp import LPRelaxationBound, build_lp_data, integer_floor_bound, root_lpr_bound
+from repro.lp import (
+    LPRelaxationBound,
+    build_lp_data,
+    integer_ceil_bound,
+    integer_floor_bound,
+    root_lpr_bound,
+)
 from repro.pb import Constraint, Objective, PBInstance
 
 
@@ -61,14 +67,18 @@ class TestBuildLPData:
         assert data.num_rows == 0
 
 
-class TestIntegerFloorBound:
+class TestIntegerCeilBound:
     def test_rounds_up(self):
-        assert integer_floor_bound(2.3) == 3
+        assert integer_ceil_bound(2.3) == 3
 
     def test_integral_value_stable(self):
-        assert integer_floor_bound(5.0) == 5
-        assert integer_floor_bound(5.0000000001) == 5
-        assert integer_floor_bound(4.9999999999) == 5
+        assert integer_ceil_bound(5.0) == 5
+        assert integer_ceil_bound(5.0000000001) == 5
+        assert integer_ceil_bound(4.9999999999) == 5
+
+    def test_deprecated_alias(self):
+        # integer_floor_bound always rounded *up*; the name was wrong.
+        assert integer_floor_bound is integer_ceil_bound
 
 
 class TestLPRelaxationBound:
@@ -117,6 +127,12 @@ class TestLPRelaxationBound:
 
     def test_root_helper(self):
         assert root_lpr_bound(covering_instance()) >= 3
+
+    def test_root_helper_reuses_bounder(self):
+        instance = covering_instance()
+        bounder = LPRelaxationBound(instance)
+        assert root_lpr_bound(instance, bounder=bounder) == root_lpr_bound(instance)
+        assert bounder.num_calls == 1
 
 
 class TestBoundSoundness:
