@@ -1,8 +1,16 @@
-"""``python -m repro`` — alias for the ``bsolo`` command-line interface."""
+"""``python -m repro`` — alias for the ``bsolo`` command-line interface.
+
+One subcommand is recognized before the solver CLI: ``certify``, which
+dispatches to the independent proof checker
+(``python -m repro certify instance.opb proof.pbp``).
+"""
 
 import sys
 
-from .cli import main
+from .cli import certify_main, main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    argv = sys.argv[1:]
+    if argv and argv[0] == "certify":
+        sys.exit(certify_main(argv[1:]))
+    sys.exit(main(argv))

@@ -40,6 +40,7 @@ class BruteForceSolver:
         self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
+        """Enumerate all assignments; exact but exponential."""
         start = time.monotonic()
         options = self._options
         deadline = (

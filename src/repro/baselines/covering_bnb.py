@@ -67,6 +67,7 @@ class CoveringBnBSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
+        """Branch and bound over covering structure; exact on clause-only instances."""
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance

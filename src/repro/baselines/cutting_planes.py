@@ -66,6 +66,7 @@ class CuttingPlanesSolver:
             self.stats.cuts_added += 1
 
     def solve(self) -> SolveResult:
+        """Incremental linear search with cardinality strengthening."""
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance

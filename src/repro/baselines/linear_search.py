@@ -62,6 +62,7 @@ class LinearSearchSolver:
         self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
+        """SAT-based linear search: tighten the cost bound per solution."""
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance

@@ -59,6 +59,7 @@ class MILPSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
+        """LP-based branch and bound on fractional variables."""
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance

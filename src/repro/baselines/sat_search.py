@@ -65,6 +65,7 @@ class DecisionSearch:
             self._root_conflict = True
 
     def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        """Add several constraints to the active database."""
         for constraint in constraints:
             self.add_constraint(constraint)
 

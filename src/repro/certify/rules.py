@@ -1,0 +1,324 @@
+"""Exact-arithmetic derivation rules shared by logger and checker.
+
+Everything here operates on :class:`repro.pb.constraints.Constraint`
+objects with integer (or :class:`fractions.Fraction`) arithmetic — no
+floats, no solver state.  The :class:`~repro.certify.logger.ProofLogger`
+uses these functions to *self-check* each bound certificate before
+emitting it (the solver declines a prune whose certificate fails, which
+is sound — it merely searches a little longer), and the
+:class:`~repro.certify.checker.ProofChecker` uses the same functions as
+the ground truth when replaying a log.  The checker therefore never has
+to trust the solver's floating-point bound computations: its `ceil`
+arithmetic is exact by construction.
+
+The module deliberately re-implements cutting-plane resolution and
+cardinality reduction instead of importing
+:mod:`repro.engine.pb_resolution`: the checker's trust base must exclude
+the engine.  The logger replays each resolvent through *these* replicas
+and refuses to log (and the solver refuses to learn) on any divergence,
+so the two implementations can never silently disagree inside a proof.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..pb.constraints import Constraint
+
+
+# ----------------------------------------------------------------------
+# Linear combination (cutting-planes addition) and the implication test
+# ----------------------------------------------------------------------
+def combine(parts: Sequence[Tuple[Constraint, int]]) -> Constraint:
+    """Non-negative integer combination ``sum_i mult_i * C_i``.
+
+    Each part is ``(constraint, multiplier)`` with ``multiplier >= 1``
+    (zero multipliers may simply be omitted).  The result is normalized
+    — opposite literals cancel into the rhs and coefficients saturate —
+    both of which are sound strengthenings over 0/1 assignments, so the
+    result is implied by the parts.
+    """
+    terms: List[Tuple[int, int]] = []
+    rhs = 0
+    for constraint, mult in parts:
+        if mult <= 0:
+            raise ValueError("combination multipliers must be positive")
+        terms.extend((mult * coef, lit) for coef, lit in constraint.terms)
+        rhs += mult * constraint.rhs
+    return Constraint.greater_equal(terms, rhs)
+
+
+def clause_cut_off(combined: Constraint, clause: Iterable[int]) -> bool:
+    """Whether falsifying every literal of ``clause`` violates ``combined``.
+
+    True means ``combined`` implies the clause: any assignment with all
+    clause literals false leaves ``combined`` a supply strictly below its
+    rhs (even granting every *other* literal its coefficient), which is
+    impossible for satisfying assignments.
+    """
+    clause_set = set(clause)
+    supply = sum(
+        coef for coef, lit in combined.terms if lit not in clause_set
+    )
+    return supply < combined.rhs
+
+
+def check_linear_bound(
+    clause: Sequence[int], parts: Sequence[Tuple[Constraint, int]]
+) -> bool:
+    """The ``b l`` rule: the combination must cut off ``~clause``.
+
+    ``parts`` typically pairs the current improvement axiom
+    (``sum c_j x_j <= upper - 1``) with LP-dual or Lagrangian multipliers
+    rationalized to integers; the test is sound for *any* non-negative
+    multipliers over implied constraints, so the checker need not know
+    where they came from.
+    """
+    if not parts:
+        return False
+    try:
+        combined = combine(parts)
+    except ValueError:
+        return False
+    return clause_cut_off(combined, clause)
+
+
+# ----------------------------------------------------------------------
+# MIS bound certificates (paper Section 3.1 / 4, exact rational replay)
+# ----------------------------------------------------------------------
+def ceil_fraction(value: Fraction) -> int:
+    """Exact ceiling of a rational (no float round-off)."""
+    return -((-value.numerator) // value.denominator)
+
+
+def min_cost_to_satisfy(
+    constraint: Constraint,
+    clause_set: Set[int],
+    costs: Mapping[int, int],
+    path_vars: Set[int],
+) -> Optional[Fraction]:
+    """Fractional-knapsack minimum cost of satisfying ``constraint``
+    using only literals outside ``clause_set``.
+
+    Literals in the clause are unavailable (the certificate describes
+    assignments falsifying the whole clause); every other literal may be
+    set true, charging ``costs[var]`` for a positive literal of a costed
+    variable not already paid for on the path, and nothing otherwise.
+    The fractional relaxation never overestimates the true 0/1 minimum,
+    which keeps the resulting lower bound sound.  Returns None when even
+    all available literals cannot reach the rhs (the constraint is
+    unsatisfiable under ``~clause``: an infinite bound).
+    """
+    available: List[Tuple[Fraction, int]] = []  # (unit cost, coefficient)
+    supply = 0
+    for coef, lit in constraint.terms:
+        if lit in clause_set:
+            continue
+        supply += coef
+        if lit > 0 and lit not in path_vars:
+            charge = costs.get(lit, 0)
+        else:
+            charge = 0
+        available.append((Fraction(charge, coef), coef))
+    if supply < constraint.rhs:
+        return None
+    available.sort(key=lambda item: item[0])
+    remaining = constraint.rhs
+    total = Fraction(0)
+    for unit_cost, coef in available:
+        if remaining <= 0:
+            break
+        take = coef if coef <= remaining else remaining
+        total += unit_cost * take
+        remaining -= take
+    return total
+
+
+def charged_variables(
+    constraint: Constraint,
+    clause_set: Set[int],
+    costs: Mapping[int, int],
+    path_vars: Set[int],
+) -> Set[int]:
+    """Variables whose cost :func:`min_cost_to_satisfy` may charge."""
+    charged: Set[int] = set()
+    for _, lit in constraint.terms:
+        if lit in clause_set or lit < 0 or lit in path_vars:
+            continue
+        if costs.get(lit, 0) > 0:
+            charged.add(lit)
+    return charged
+
+
+def check_mis_bound(
+    clause: Sequence[int],
+    path_vars: Sequence[int],
+    responsible: Sequence[Constraint],
+    costs: Mapping[int, int],
+    upper: int,
+) -> bool:
+    """The ``b m`` rule: exact replay of the MIS lower-bound argument.
+
+    Certifies the clause as implied under ``cost <= upper - 1``: any
+    assignment falsifying every clause literal pays the path (each listed
+    path variable is costed and pinned to 1 because its negation is in
+    the clause) plus, for each responsible constraint, an independent
+    minimum satisfaction cost — independence holds because the chargeable
+    variable sets are pairwise disjoint and disjoint from the path.  When
+    ``path + ceil(sum of minima) >= upper`` no such assignment can beat
+    the incumbent, so every improving solution satisfies the clause.
+    """
+    clause_set = set(clause)
+    path_set = set(path_vars)
+    if len(path_set) != len(tuple(path_vars)):
+        return False
+    path = 0
+    for var in path_set:
+        cost = costs.get(var, 0)
+        if cost <= 0 or -var not in clause_set:
+            return False
+        path += cost
+    total = Fraction(0)
+    seen_charged: Set[int] = set()
+    for constraint in responsible:
+        minimum = min_cost_to_satisfy(constraint, clause_set, costs, path_set)
+        if minimum is None:
+            return True  # unsatisfiable under ~clause: bound is infinite
+        if minimum <= 0:
+            continue
+        charged = charged_variables(constraint, clause_set, costs, path_set)
+        if charged & seen_charged:
+            return False  # double-charged variable: accounting unsound
+        seen_charged |= charged
+        total += minimum
+    return path + ceil_fraction(total) >= upper
+
+
+# ----------------------------------------------------------------------
+# Cutting-plane resolution replay (checker-side replica)
+# ----------------------------------------------------------------------
+def cut_resolve(
+    first: Constraint, second: Constraint, var: int
+) -> Optional[Constraint]:
+    """Cancel ``var`` between two constraints (the cutting-plane rule).
+
+    The gcd multipliers make the opposite-polarity coefficients equal;
+    normalization folds the cancellation into the rhs.  Returns None
+    when the polarities do not oppose (such a step proves nothing).
+    """
+    a_pos = first.coefficient(var)
+    a_neg = first.coefficient(-var)
+    b_pos = second.coefficient(var)
+    b_neg = second.coefficient(-var)
+    if a_pos and b_neg:
+        a, b = a_pos, b_neg
+    elif a_neg and b_pos:
+        a, b = a_neg, b_pos
+    else:
+        return None
+    g = math.gcd(a, b)
+    return combine([(first, b // g), (second, a // g)])
+
+
+def weaken_to_cardinality(constraint: Constraint) -> Optional[Constraint]:
+    """Weaken a PB constraint to the cardinality constraint it implies.
+
+    ``sum a_j l_j >= b`` forces at least ``r`` literals true, where ``r``
+    counts greedily over descending coefficients; "at least r of the
+    l_j" is therefore implied.  Returns None when vacuous.
+    """
+    if constraint.is_cardinality or constraint.rhs == 0:
+        return None
+    required = constraint.minimum_true_literals()
+    if not isinstance(required, int) or required <= 0:
+        return None
+    reduced = Constraint.at_least(list(constraint.literals), required)
+    if reduced.is_tautology:
+        return None
+    return reduced
+
+
+def replay_resolution(
+    base: Constraint,
+    ops: Sequence[Tuple],
+    constraint_of: Mapping[int, Constraint],
+) -> Optional[Constraint]:
+    """Replay a ``p`` step's op list; None when any op is unsound.
+
+    ``ops`` entries are ``("r", var, antecedent_id)`` or ``("w",)``;
+    ``constraint_of`` resolves antecedent ids.  Every op produces an
+    implied constraint by construction, so a successful replay yields an
+    implied result regardless of where the ops came from — the caller
+    additionally compares the result against the step's stated
+    constraint so later references mean what the solver derived.
+    """
+    resolvent = base
+    for op in ops:
+        if op[0] == "r":
+            _, var, aid = op
+            antecedent = constraint_of.get(aid)
+            if antecedent is None:
+                return None
+            combined = cut_resolve(resolvent, antecedent, var)
+        else:
+            combined = weaken_to_cardinality(resolvent)
+        if combined is None or combined.is_tautology:
+            return None
+        resolvent = combined
+    return resolvent
+
+
+# ----------------------------------------------------------------------
+# Section 5 cuts recomputed from the certified incumbent
+# ----------------------------------------------------------------------
+def improvement_axiom(costs: Mapping[int, int], upper: int) -> Constraint:
+    """The ``o`` step's derived axiom: ``sum c_j x_j <= upper - 1``.
+
+    ``upper`` is on the path-cost scale (offset excluded).  For a
+    constant objective this is the tautology ``0 >= 0`` — satisfaction
+    runs derive nothing from a solution beyond its feasibility.
+    """
+    if not costs:
+        return Constraint((), 0)
+    terms = [(cost, var) for var, cost in costs.items()]
+    return Constraint.less_equal(terms, upper - 1)
+
+
+def cardinality_cut(
+    source: Constraint, costs: Mapping[int, int], upper: int
+) -> Optional[Constraint]:
+    """The ``t`` step: recompute the eq. 13 cut from its source.
+
+    ``source`` must be a cardinality constraint over positive literals;
+    satisfying it costs at least ``V`` (the sum of its ``threshold``
+    smallest member costs), so under ``cost <= upper - 1`` the variables
+    outside it can spend at most ``upper - 1 - V``.  A negative budget
+    yields an unsatisfiable constraint — the incumbent is optimal.
+    Returns None when the cut is vacuous (V = 0 or nothing outside).
+    """
+    if not costs or not source.is_cardinality:
+        return None
+    members = source.literals
+    if any(lit < 0 for lit in members):
+        return None
+    threshold = source.cardinality_threshold
+    if threshold < 1:
+        return None
+    member_costs = sorted(costs.get(var, 0) for var in members)
+    value_v = sum(member_costs[:threshold])
+    if value_v <= 0:
+        return None
+    budget = upper - 1 - value_v
+    member_set = set(members)
+    outside = [
+        (cost, var) for var, cost in costs.items() if var not in member_set
+    ]
+    if budget < 0:
+        # Even the members alone exceed the budget: unsatisfiable cut
+        # (normalizes to "0 >= positive" when ``outside`` is empty).
+        return Constraint.less_equal(outside, budget)
+    if not outside or sum(cost for cost, _ in outside) <= budget:
+        return None  # tautology under saturation
+    return Constraint.less_equal(outside, budget)

@@ -6,6 +6,12 @@ in the paper's experiments, plus the observability surface: ``--trace``
 writes a JSONL search-event trace, ``--profile`` prints the per-phase
 wall-time breakdown, ``--stats-json`` persists machine-readable stats,
 and ``--progress`` prints periodic ``c``-prefixed heartbeats.
+
+``--proof FILE.pbp`` makes the run *certifying*: the solver records a
+cutting-planes derivation of its answer that the independent checker
+(``python -m repro certify instance.opb FILE.pbp``, implemented by
+:func:`certify_main`) can replay without trusting any search code.  See
+``docs/PROOFS.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from .pb.opb import parse_file
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``bsolo`` argument parser (solver list in the epilog)."""
     solver_lines = "\n".join(
         "  %-16s %s" % (name, description)
         for name, description in solver_descriptions().items()
@@ -138,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the best assignment as a literal list",
     )
+    parser.add_argument(
+        "--proof",
+        metavar="FILE.pbp",
+        default=None,
+        help=(
+            "write a checkable cutting-planes proof of the answer "
+            "(bsolo-* solvers); verify it afterwards with "
+            "'python -m repro certify INSTANCE FILE.pbp'"
+        ),
+    )
     return parser
 
 
@@ -171,6 +188,7 @@ def _print_progress(stats, best, lower) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Solve one OPB instance; returns 0 when the run finished solved."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.progress_interval < 1:
@@ -181,6 +199,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             "--trace is not supported with --portfolio (trace sinks cannot "
             "cross the worker process boundary)"
+        )
+    if args.proof and args.portfolio is not None:
+        parser.error(
+            "--proof is not supported with --portfolio (proof sinks cannot "
+            "cross the worker process boundary)"
+        )
+    if args.proof and not args.solver.startswith("bsolo"):
+        parser.error(
+            "--proof requires a bsolo-* solver (solver %r does not log "
+            "derivations)" % args.solver
         )
     instance = parse_file(args.instance)
 
@@ -207,6 +235,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             except OSError as exc:
                 parser.error("cannot open --trace file: %s" % exc)
             tracer.instance_label = args.instance
+        proof_logger = None
+        if args.proof:
+            from .certify import ProofLogger
+
+            try:
+                proof_logger = ProofLogger(args.proof)
+            except OSError as exc:
+                parser.error("cannot open --proof file: %s" % exc)
         try:
             record = run_one(
                 args.solver,
@@ -220,13 +256,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 propagation=args.propagation,
                 lb_schedule=args.lb_schedule,
                 incremental_bounds=not args.cold_bounds,
+                proof=proof_logger,
             )
         finally:
             if tracer is not None:
                 tracer.close()
+            if proof_logger is not None:
+                proof_logger.close()
         result = record.result
         seconds = record.seconds
         solver_label = args.solver
+        if proof_logger is not None:
+            print(
+                "c proof file=%s steps=%d"
+                % (args.proof, proof_logger.steps_logged)
+            )
 
     print("s %s" % result.status.upper())
     if result.best_cost is not None:
@@ -258,6 +302,59 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     return 0 if result.solved else 1
+
+
+def certify_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro certify instance.opb proof.pbp``.
+
+    Replays a proof log against the parsed instance with the independent
+    checker (:mod:`repro.certify` — no search code imported) and reports
+    the verdict.  Exit codes: 0 the proof verifies, 1 it verifies but
+    claims no answer (``e unknown``), 2 it is rejected.
+    """
+    from .certify import CheckOutcome, ProofChecker, ProofError
+
+    parser = argparse.ArgumentParser(
+        prog="bsolo certify",
+        description=(
+            "Independently verify a cutting-planes proof log produced by "
+            "a 'bsolo --proof' run (see docs/PROOFS.md)"
+        ),
+    )
+    parser.add_argument("instance", help="path to the .opb file that was solved")
+    parser.add_argument("proof", help="path to the .pbp proof log")
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the verdict lines; rely on the exit code",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        instance = parse_file(args.instance)
+    except OSError as exc:
+        parser.error("cannot read instance: %s" % exc)
+    checker = ProofChecker(instance)
+    try:
+        outcome: CheckOutcome = checker.check_file(args.proof)
+    except OSError as exc:
+        parser.error("cannot read proof: %s" % exc)
+    except ProofError as exc:
+        if not args.quiet:
+            print("s NOT VERIFIED")
+            print("c %s" % exc)
+        return 2
+
+    if not args.quiet:
+        print("s VERIFIED")
+        claim = outcome.status
+        if outcome.cost is not None:
+            claim += " %d" % outcome.cost
+        print("c claim %s" % claim)
+        print("c steps %d" % outcome.steps)
+        if outcome.conditional:
+            print("c conditional yes (proof contains assumption steps)")
+    return 0 if outcome.certified else 1
 
 
 if __name__ == "__main__":

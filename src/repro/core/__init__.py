@@ -14,7 +14,7 @@ from .preprocess import PreprocessResult, probe_necessary_assignments
 from .result import OPTIMAL, SATISFIABLE, SolveResult, UNKNOWN, UNSATISFIABLE
 from .solver import BsoloSolver, solve
 from .stats import SolverStats
-from .verify import VerificationError, verify_result
+from .verify import VerificationError, VerifyOutcome, verify_result
 
 __all__ = [
     "Brancher",
@@ -34,6 +34,7 @@ __all__ = [
     "UNKNOWN",
     "UNSATISFIABLE",
     "VerificationError",
+    "VerifyOutcome",
     "bound_conflict_clause",
     "count_optimal",
     "enumerate_optimal",

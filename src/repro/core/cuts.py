@@ -36,17 +36,18 @@ class CutGenerator:
         self._cardinality_cuts = cardinality_cuts
         # Pre-extract the cardinality constraints usable by eq. 11: all
         # literals positive (the "smallest costs" argument needs x_j = 1
-        # to be what pays).
-        self._cardinalities: List[Tuple[Tuple[int, ...], int]] = []
+        # to be what pays).  The source constraints themselves are kept
+        # so each emitted cut can name the input it was derived from
+        # (proof logging references cuts by source id).
+        self._cardinalities: List[Constraint] = []
         if cardinality_cuts:
             for constraint in instance.constraints:
                 if not constraint.is_cardinality:
                     continue
                 if any(lit < 0 for lit in constraint.literals):
                     continue
-                threshold = constraint.cardinality_threshold
-                if threshold >= 1:
-                    self._cardinalities.append((constraint.literals, threshold))
+                if constraint.cardinality_threshold >= 1:
+                    self._cardinalities.append(constraint)
 
     # ------------------------------------------------------------------
     def knapsack_cut(self, upper: int) -> Optional[Constraint]:
@@ -61,19 +62,25 @@ class CutGenerator:
             return None
         return cut
 
-    def cardinality_cuts(self, upper: int) -> Tuple[List[Constraint], bool]:
-        """Eq. 13 cuts for the new ``upper``.
+    def cardinality_cuts_with_sources(
+        self, upper: int
+    ) -> Tuple[List[Tuple[Constraint, Constraint]], Optional[Constraint]]:
+        """Eq. 13 cuts for the new ``upper``, each paired with its source.
 
-        Returns ``(cuts, optimum_proven)``; the flag is True when some
-        cut's rhs went negative (eq. 12's ``V`` alone reaches the bound).
+        Returns ``(pairs, proven_source)``: ``pairs`` holds
+        ``(cut, source_cardinality_constraint)`` and ``proven_source`` is
+        the input whose cut's rhs went negative (eq. 12's ``V`` alone
+        reaches the bound, so the incumbent is optimal), or None.
         """
-        cuts: List[Constraint] = []
+        pairs: List[Tuple[Constraint, Constraint]] = []
         if not self._cardinality_cuts:
-            return cuts, False
+            return pairs, None
         costs = self._objective.costs
         if not costs:
-            return cuts, False
-        for members, threshold in self._cardinalities:
+            return pairs, None
+        for source in self._cardinalities:
+            members = source.literals
+            threshold = source.cardinality_threshold
             member_costs = sorted(costs.get(var, 0) for var in members)
             value_v = sum(member_costs[:threshold])
             if value_v <= 0:
@@ -86,14 +93,23 @@ class CutGenerator:
                 if var not in member_set
             ]
             if budget < 0:
-                return cuts, True
+                return pairs, source
             if not outside:
                 continue
             total_outside = sum(cost for cost, _ in outside)
             if total_outside <= budget:
                 continue  # tautology
-            cuts.append(Constraint.less_equal(outside, budget))
-        return cuts, False
+            pairs.append((Constraint.less_equal(outside, budget), source))
+        return pairs, None
+
+    def cardinality_cuts(self, upper: int) -> Tuple[List[Constraint], bool]:
+        """Eq. 13 cuts for the new ``upper``.
+
+        Returns ``(cuts, optimum_proven)``; the flag is True when some
+        cut's rhs went negative (eq. 12's ``V`` alone reaches the bound).
+        """
+        pairs, proven = self.cardinality_cuts_with_sources(upper)
+        return [cut for cut, _ in pairs], proven is not None
 
     def cuts_for(self, upper: int) -> Tuple[List[Constraint], bool]:
         """All cuts triggered by a solution of cost ``upper``."""

@@ -66,6 +66,7 @@ class StaticSchedule:
         return True
 
     def stats_dict(self) -> Dict[str, float]:
+        """Structured scheduling counters for ``SolverStats``."""
         return {
             "policy": self.name,
             "nodes_seen": self._node_counter,
@@ -152,6 +153,7 @@ class AdaptiveSchedule:
         return False
 
     def stats_dict(self) -> Dict[str, float]:
+        """Structured scheduling counters for ``SolverStats``."""
         return {
             "policy": self.name,
             "nodes_seen": self._node_counter,

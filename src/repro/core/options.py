@@ -65,6 +65,7 @@ class SolverOptions:
         external_bound=None,
         should_stop=None,
         poll_interval: int = 16,
+        proof=None,
     ):
         if lower_bound not in _METHODS:
             raise ValueError(
@@ -80,6 +81,11 @@ class SolverOptions:
             raise ValueError("progress_interval must be >= 1")
         if poll_interval < 1:
             raise ValueError("poll_interval must be >= 1")
+        if proof is not None and external_bound is not None:
+            raise ValueError(
+                "proof logging is incompatible with external_bound: an "
+                "imported bound has no derivation the checker could replay"
+            )
         #: Which lower bound estimation procedure to run (Section 3).
         self.lower_bound = lower_bound
         #: Estimate the bound every k-th decision node (1 = every node).
@@ -182,6 +188,14 @@ class SolverOptions:
         self.should_stop = should_stop
         #: Search steps between polls of ``external_bound``/``should_stop``.
         self.poll_interval = poll_interval
+        #: Proof sink (:class:`repro.certify.ProofLogger`); when set the
+        #: solver records a checkable cutting-planes derivation of its
+        #: answer (see ``docs/PROOFS.md``).  Proof mode disables
+        #: covering-matrix reductions (their strengthenings are not
+        #: implication-sound) and self-checks every bound certificate,
+        #: declining prunes it cannot justify — correctness is unchanged,
+        #: search may take longer.
+        self.proof = proof
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, Any]:
@@ -228,6 +242,7 @@ class SolverOptions:
             on_incumbent=self.on_incumbent,
             external_bound=self.external_bound,
             should_stop=self.should_stop,
+            proof=self.proof,
         )
         return kwargs
 
@@ -250,14 +265,17 @@ class SolverOptions:
 
     @classmethod
     def with_mis(cls, **kwargs) -> "SolverOptions":
+        """Options preset: MIS lower bounding (Section 3.1)."""
         return cls(lower_bound=MIS, **kwargs)
 
     @classmethod
     def with_lgr(cls, **kwargs) -> "SolverOptions":
+        """Options preset: Lagrangian-relaxation bounding (Section 3.2)."""
         return cls(lower_bound=LGR, **kwargs)
 
     @classmethod
     def with_lpr(cls, **kwargs) -> "SolverOptions":
+        """Options preset: LP-relaxation bounding (Section 3.3)."""
         return cls(lower_bound=LPR, **kwargs)
 
     def __repr__(self) -> str:

@@ -47,6 +47,7 @@ class SolveResult:
 
     @property
     def is_optimal(self) -> bool:
+        """True when the search proved its incumbent optimal."""
         return self.status == OPTIMAL
 
     @property

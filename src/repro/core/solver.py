@@ -127,6 +127,12 @@ class BsoloSolver:
         #: ``external_bound`` (offset included); the witnessing model is
         #: held by whoever published the bound, not by this solver.
         self._external_cost: Optional[int] = None
+        #: Proof logger (:class:`repro.certify.ProofLogger`) or None.
+        #: Under proof every learned constraint, cut and bound prune is
+        #: recorded with a certificate the logger self-checks first; a
+        #: prune whose certificate fails is declined (sound — the search
+        #: merely continues), counted in ``stats.uncertified_prunes``.
+        self._proof = self._options.proof
         self._cooperative = (
             self._options.should_stop is not None
             or self._options.external_bound is not None
@@ -186,6 +192,7 @@ class BsoloSolver:
             )
         try:
             result = self._search()
+            self._finalize_proof(result)
         finally:
             self.stats.elapsed = time.monotonic() - start
             self.stats.phase_times = self._timer.snapshot()
@@ -212,6 +219,10 @@ class BsoloSolver:
         witnessing model lives with whoever published the bound).
         Returns True when the bound actually tightened.
         """
+        if self._proof is not None:
+            # An imported bound has no derivation the proof could replay;
+            # ignoring it keeps the emitted certificate self-contained.
+            return False
         path_cost = cost - self._objective.offset
         if path_cost >= self._upper:
             return False
@@ -250,10 +261,17 @@ class BsoloSolver:
         """Load constraints, assumptions and preprocessing; a returned
         result means the search never starts (root conflict)."""
         propagator = self._propagator
+        proof = self._proof
+        if proof is not None:
+            proof.start(self._instance)
         forced_literals: List[int] = []
         dropped_indices = set()
         if (
             self._options.covering_reductions
+            # dominance/pure-polarity reductions preserve *some* optimum
+            # but are not implied constraints, so no proof step exists
+            # for them: proof mode runs without covering reductions
+            and proof is None
             and self._instance.is_covering
             # dominance/pure-polarity keep only *some* optimal solution,
             # which user assumptions might exclude: skip them then
@@ -276,6 +294,11 @@ class BsoloSolver:
             var = literal if literal > 0 else -literal
             if var > self._instance.num_variables or var < 1:
                 raise ValueError("assumption literal %d out of range" % literal)
+            if proof is not None:
+                # Logged before asserting so a root conflict among the
+                # assumptions is already visible to the checker; the
+                # final claim becomes conditional on these axioms.
+                proof.log_assumption(literal)
             if propagator.trail.is_assigned(var):
                 if not propagator.trail.literal_is_true(literal):
                     return self._finish()
@@ -300,9 +323,17 @@ class BsoloSolver:
                 max_implications=self._options.probing_implications,
             )
             self.stats.necessary_assignments = len(preprocess.necessary_literals)
+            if proof is not None:
+                # Each necessary literal (in discovery order) and each
+                # probing implication is RUP: probing found it by unit
+                # propagation, which the checker replays identically.
+                for literal in preprocess.necessary_literals:
+                    proof.log_rup((literal,))
             if preprocess.unsatisfiable:
                 return self._finish()
             for clause in preprocess.implications:
+                if proof is not None:
+                    proof.log_rup(clause.literals)
                 propagator.add_constraint(clause)
         return None
 
@@ -492,6 +523,12 @@ class BsoloSolver:
         self.stats.lower_bound_calls += 1
 
         if bound.infeasible:
+            clause = infeasibility_clause(
+                self._instance, trail, self._cut_constraints
+            )
+            if not self._certify_infeasibility(clause):
+                self.stats.uncertified_prunes += 1
+                return False, False
             self.stats.bound_conflicts += 1
             if tracer.enabled:
                 tracer.emit(
@@ -507,9 +544,6 @@ class BsoloSolver:
                 tracer.emit(
                     ConflictEvent(type="bound", level=trail.decision_level)
                 )
-            clause = infeasibility_clause(
-                self._instance, trail, self._cut_constraints
-            )
             timer.push("analyze")
             resolved = self._resolve(clause)
             timer.pop()
@@ -531,28 +565,102 @@ class BsoloSolver:
                 )
             )
         if pruned:
-            self.stats.bound_conflicts += 1
-            self.stats.prunings += 1
-            if tracer.enabled:
-                tracer.emit(
-                    ConflictEvent(type="bound", level=trail.decision_level)
-                )
             if self._options.bound_conflict_learning:
                 alpha = self._alpha_refinement(bound, fixed)
                 clause = bound_conflict_clause(
                     self._objective, trail, bound.explanation, alpha
                 )
+                bound_clause: Optional[Tuple[int, ...]] = clause
             else:
                 # Chronological variant: blame every decision on the path.
                 clause = tuple(
                     -trail.decision_at(level)
                     for level in range(1, trail.decision_level + 1)
                 )
+                # The decisions clause is certified through w_bc: once
+                # the bound clause is in the proof database, asserting
+                # all decisions replays the trail and violates it.
+                bound_clause = (
+                    bound_conflict_clause(
+                        self._objective, trail, bound.explanation, None
+                    )
+                    if self._proof is not None
+                    else None
+                )
+            if not self._certify_bound_clause(bound_clause, bound, clause):
+                self.stats.uncertified_prunes += 1
+                return False, False
+            self.stats.bound_conflicts += 1
+            self.stats.prunings += 1
+            if tracer.enabled:
+                tracer.emit(
+                    ConflictEvent(type="bound", level=trail.decision_level)
+                )
             timer.push("analyze")
             resolved = self._resolve(clause)
             timer.pop()
             return True, not resolved
         return False, False
+
+    # ------------------------------------------------------------------
+    # Proof-mode certificates (see repro.certify)
+    # ------------------------------------------------------------------
+    def _certify_infeasibility(self, clause: Tuple[int, ...]) -> bool:
+        """Log a single-constraint witness for an infeasible relaxation.
+
+        Some constraint must be unsatisfiable under the current partial
+        assignment for the clause to be implied with multiplier 1; LP
+        phase-1 infeasibility without such a witness cannot be certified
+        and the prune is declined.  Always True outside proof mode.
+        """
+        proof = self._proof
+        if proof is None:
+            return True
+        trail = self._propagator.trail
+        for constraint in list(self._instance.constraints) + self._cut_constraints:
+            supply = sum(
+                coef
+                for coef, lit in constraint.terms
+                if not trail.literal_is_false(lit)
+            )
+            if supply < constraint.rhs and proof.log_infeasibility(
+                clause, constraint
+            ):
+                return True
+        return False
+
+    def _certify_bound_clause(
+        self,
+        bound_clause: Optional[Tuple[int, ...]],
+        bound: LowerBound,
+        clause: Tuple[int, ...],
+    ) -> bool:
+        """Log a lower-bound certificate for ``bound_clause`` (w_bc) and,
+        when the learned ``clause`` differs (chronological mode), the
+        RUP step deriving it.  True means the prune may proceed; always
+        True outside proof mode."""
+        proof = self._proof
+        if proof is None:
+            return True
+        if self._last_bound_method == "mis":
+            trail = self._propagator.trail
+            path_vars = [
+                var
+                for var, cost in self._objective.costs.items()
+                if cost > 0 and trail.value(var) == 1
+            ]
+            logged = proof.log_bound_mis(
+                bound_clause, path_vars, bound.explanation
+            )
+        else:
+            logged = proof.log_bound_linear(
+                bound_clause, list(bound.duals_by_row.items())
+            )
+        if not logged:
+            return False
+        if tuple(clause) != tuple(bound_clause):
+            proof.log_rup(clause)
+        return True
 
     def _compute_bound(self, fixed: Dict[int, int], path: int) -> LowerBound:
         timer = self._timer
@@ -599,6 +707,15 @@ class BsoloSolver:
         self.stats.solutions_found += 1
         improved = cost < self._upper
         if improved:
+            if self._proof is not None:
+                # The 'o' step doubles as the derivation of the eq. 10
+                # improvement axiom the later steps build on.
+                self._proof.log_solution(
+                    [
+                        var if value else -var
+                        for var, value in sorted(assignment.items())
+                    ]
+                )
             # Without the eq. 10 cut the search can reach non-improving
             # solutions; the incumbent only ever tightens.
             self._best_assignment = dict(assignment)
@@ -628,11 +745,29 @@ class BsoloSolver:
             )
 
         if improved and self._options.upper_bound_cuts:
+            proof = self._proof
             self._timer.push("cuts")
-            cuts, proven = self._cut_generator.cuts_for(self._upper)
+            knapsack = self._cut_generator.knapsack_cut(self._upper)
+            pairs, proven_source = (
+                self._cut_generator.cardinality_cuts_with_sources(self._upper)
+            )
             self._timer.pop()
-            if proven:
-                return self._finish()
+            if proven_source is not None:
+                # Eq. 12's V alone reaches the bound: incumbent optimal.
+                # Under proof the unsatisfiable eq. 13 cut is the
+                # certificate (it contradicts the checker's database).
+                if proof is None or proof.log_proven_cut(proven_source):
+                    return self._finish()
+                self.stats.uncertified_prunes += 1
+            # The knapsack cut (eq. 10) IS the improvement axiom the 'o'
+            # step derived, so it needs no proof step of its own.
+            cuts = [] if knapsack is None else [knapsack]
+            for cut, source in pairs:
+                if proof is not None and not proof.log_cardinality_cut(
+                    source, cut
+                ):
+                    continue  # uncertifiable cut: skip rather than trust
+                cuts.append(cut)
             for cut in cuts:
                 self._propagator.add_constraint(cut)
                 self.stats.cuts_added += 1
@@ -646,6 +781,10 @@ class BsoloSolver:
         # The solution node itself is now bound-conflicting
         # (path >= upper): learn w_pp and continue the search.
         clause = tuple(path_explanation(self._objective, self._propagator.trail))
+        if self._proof is not None:
+            # RUP: negating w_pp sets every costed path variable to 1,
+            # which violates the current improvement axiom.
+            self._proof.log_rup(clause)
         if not self._resolve(clause):
             return self._finish()
         return None
@@ -673,13 +812,17 @@ class BsoloSolver:
             analysis = analyze(literals, trail)
         except RootConflictError:
             return False
+        proof = self._proof
         resolvent = None
+        resolution_trace: Optional[List[Tuple]] = None
         if self._options.pb_learning and conflict_constraint is not None:
             # must run before the backjump pops the antecedents
+            resolution_trace = [] if proof is not None else None
             resolvent = derive_resolvent(
                 conflict_constraint,
                 analysis.resolved_variables,
                 self._propagator.antecedent,
+                resolution_trace,
             )
         self._activity.bump_all(analysis.seen_variables)
         self._activity.decay()
@@ -695,6 +838,11 @@ class BsoloSolver:
             )
         self._propagator.backtrack(analysis.backtrack_level)
         learned = Constraint.clause(analysis.learned_literals)
+        if proof is not None:
+            # First-UIP clauses are RUP against the proof database: the
+            # checker's propagation has the same strength as the engine's
+            # and every constraint the analysis touched is in the log.
+            proof.log_rup(analysis.learned_literals)
         conflict = self._propagator.add_constraint(learned, learned=True)
         self.stats.learned_constraints += 1
         if conflict is not None:  # pragma: no cover - learned clause asserts
@@ -703,6 +851,17 @@ class BsoloSolver:
             self._propagator.imply(
                 analysis.asserting_literal, analysis.learned_literals
             )
+        if (
+            resolvent is not None
+            and proof is not None
+            and not proof.log_resolvent(
+                conflict_constraint, resolution_trace, resolvent
+            )
+        ):
+            # The checker-side replay disagreed with the engine's
+            # derivation: drop the resolvent instead of learning an
+            # unprovable constraint (the clausal learner above suffices).
+            resolvent = None
         if resolvent is not None:
             conflict = self._propagator.add_constraint(resolvent, learned=True)
             self.stats.learned_constraints += 1
@@ -746,6 +905,29 @@ class BsoloSolver:
         ):
             return True
         return False
+
+    def _finalize_proof(self, result: SolveResult) -> None:
+        """Emit the contradiction and final-claim steps, then flush.
+
+        OPTIMAL and UNSATISFIABLE both rest on the proof database now
+        propagating to a root conflict (for OPTIMAL, under the incumbent
+        improvement axiom); SATISFIABLE rests on the verified incumbent
+        alone, and a budget/interrupt exit claims nothing.
+        """
+        proof = self._proof
+        if proof is None:
+            return
+        if result.status == OPTIMAL:
+            proof.log_contradiction()
+            proof.log_end("optimal", result.best_cost)
+        elif result.status == SATISFIABLE:
+            proof.log_end("satisfiable", result.best_cost)
+        elif result.status == UNSATISFIABLE:
+            proof.log_contradiction()
+            proof.log_end("unsatisfiable")
+        else:
+            proof.log_end("unknown")
+        proof.close()
 
     def _finish(self) -> SolveResult:
         if self._best_assignment is not None:

@@ -46,6 +46,9 @@ class SolverStats:
         #: Times an external (portfolio-shared) incumbent tightened the
         #: upper bound of this solver mid-search.
         self.external_bounds = 0
+        #: Bound prunes declined in proof mode because no emitted
+        #: certificate survived the logger's exact-arithmetic self-check.
+        self.uncertified_prunes = 0
         #: The cooperative-interrupt hook ended the search early.
         self.interrupted = False
         #: Wall-clock seconds spent in solve().
@@ -64,6 +67,7 @@ class SolverStats:
         return self.logic_conflicts + self.bound_conflicts
 
     def record_backjump(self, from_level: int, to_level: int) -> None:
+        """Track a non-chronological backtrack of ``from - to`` levels."""
         jump = from_level - to_level
         self.backjump_total += jump
         if jump > self.backjump_max:
@@ -91,6 +95,7 @@ class SolverStats:
             "resolution_steps": self.resolution_steps,
             "progress_reports": self.progress_reports,
             "external_bounds": self.external_bounds,
+            "uncertified_prunes": self.uncertified_prunes,
             "interrupted": self.interrupted,
             "elapsed": self.elapsed,
             "phase_times": dict(self.phase_times),

@@ -11,13 +11,21 @@ module re-checks results with machinery independent of the search:
   branch-and-bound machinery with bsolo);
 * **unsatisfiability**: cross-checked by the independent solver.
 
+:func:`verify_result` returns a structured :class:`VerifyOutcome`
+distinguishing *verified* (every applicable certificate was established)
+from *unverified* (the checks that ran passed, but the prover's budget
+expired before the optimality/unsatisfiability certificate landed).
+Outright refutation raises :class:`VerificationError`.  For answers that
+must be checkable without trusting *any* solver, see the proof-logging
+path instead (:mod:`repro.certify`, ``SolverOptions(proof=...)``).
+
 Used by the test-suite's differential harness and available to users via
 :func:`verify_result`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from ..pb.instance import PBInstance
 from .cuts import CutGenerator
@@ -26,6 +34,50 @@ from .result import OPTIMAL, SATISFIABLE, SolveResult, UNSATISFIABLE
 
 class VerificationError(AssertionError):
     """The result failed an independent check."""
+
+
+class VerifyOutcome:
+    """Structured verdict of :func:`verify_result`.
+
+    ``status`` is ``"verified"`` when every check applicable to the
+    result's claim ran and passed, or ``"unverified"`` when the checks
+    that ran all passed but the independent prover exhausted its budget
+    before certifying optimality/unsatisfiability — an honest "could not
+    confirm", which older callers used to receive as an undistinguished
+    ``True``.  A check *failing* never produces an outcome: it raises
+    :class:`VerificationError`.
+
+    Instances are always truthy (``assert verify_result(...)`` keeps
+    working); branch on :attr:`verified` to treat budget-exhausted runs
+    distinctly.
+    """
+
+    VERIFIED = "verified"
+    UNVERIFIED = "unverified"
+
+    __slots__ = ("status", "checks", "detail")
+
+    def __init__(self, status: str, checks: Tuple[str, ...], detail: str = ""):
+        #: ``"verified"`` or ``"unverified"``.
+        self.status = status
+        #: Names of the checks that ran and passed, in order.
+        self.checks = checks
+        #: Human-readable note (why the result stayed unverified).
+        self.detail = detail
+
+    @property
+    def verified(self) -> bool:
+        """True when every applicable certificate was established."""
+        return self.status == self.VERIFIED
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        extra = " (%s)" % self.detail if self.detail else ""
+        return "VerifyOutcome(%s: %s%s)" % (
+            self.status, "+".join(self.checks) or "none", extra
+        )
 
 
 def _default_prover(instance: PBInstance, time_limit: Optional[float]):
@@ -39,14 +91,15 @@ def verify_result(
     result: SolveResult,
     prover: Optional[Callable[[PBInstance, Optional[float]], SolveResult]] = None,
     time_limit: Optional[float] = None,
-) -> bool:
+) -> VerifyOutcome:
     """Verify ``result`` against ``instance``.
 
-    Returns True on success; raises :class:`VerificationError` with a
-    description otherwise.  A ``prover`` may be supplied (a callable
-    ``(instance, time_limit) -> SolveResult``); when the prover itself
-    exceeds its budget the optimality part is reported as unverified by
-    returning True with no exception (feasibility is always enforced).
+    Returns a :class:`VerifyOutcome` (always truthy); raises
+    :class:`VerificationError` when a check refutes the result.  A
+    ``prover`` may be supplied (a callable ``(instance, time_limit) ->
+    SolveResult``); when the prover returns without an answer (budget
+    exhausted) the outcome's status is ``"unverified"`` rather than a
+    silent pass — feasibility is always enforced first.
     """
     prover = prover or _default_prover
 
@@ -56,19 +109,28 @@ def verify_result(
             raise VerificationError(
                 "solver said UNSATISFIABLE but the prover found %r" % (check,)
             )
-        return True
+        if check.status != UNSATISFIABLE:
+            return VerifyOutcome(
+                VerifyOutcome.UNVERIFIED,
+                (),
+                "prover returned %s before certifying unsatisfiability"
+                % check.status,
+            )
+        return VerifyOutcome(VerifyOutcome.VERIFIED, ("unsatisfiability",))
 
+    checks: Tuple[str, ...] = ()
     if result.status in (OPTIMAL, SATISFIABLE):
         _check_feasibility(instance, result)
+        checks = ("feasibility", "cost")
     if result.status != OPTIMAL:
-        return True
+        return VerifyOutcome(VerifyOutcome.VERIFIED, checks)
 
     # Optimality: no strictly better solution may exist.
     internal_cost = result.best_cost - instance.objective.offset
     cut = CutGenerator(instance).knapsack_cut(internal_cost)
     if cut is None:
         # cost is already the minimum conceivable (0 over costed vars)
-        return True
+        return VerifyOutcome(VerifyOutcome.VERIFIED, checks + ("optimality",))
     try:
         improved = PBInstance(
             list(instance.constraints) + [cut],
@@ -76,7 +138,8 @@ def verify_result(
             num_variables=instance.num_variables,
         )
     except ValueError:
-        return True  # the cut is individually unsatisfiable: nothing better
+        # the cut is individually unsatisfiable: nothing better exists
+        return VerifyOutcome(VerifyOutcome.VERIFIED, checks + ("optimality",))
     check = prover(improved, time_limit)
     if check.status in (SATISFIABLE, OPTIMAL):
         raise VerificationError(
@@ -84,8 +147,12 @@ def verify_result(
             % (result.best_cost, check.best_cost)
         )
     if check.status == UNSATISFIABLE:
-        return True
-    return True  # prover budget exceeded: optimality unverified
+        return VerifyOutcome(VerifyOutcome.VERIFIED, checks + ("optimality",))
+    return VerifyOutcome(
+        VerifyOutcome.UNVERIFIED,
+        checks,
+        "prover returned %s before certifying optimality" % check.status,
+    )
 
 
 def _check_feasibility(instance: PBInstance, result: SolveResult) -> None:

@@ -54,6 +54,7 @@ class ReductionResult:
 
     @property
     def forced_literals(self) -> List[int]:
+        """The forced assignments as signed literals, sorted by variable."""
         return [var if value else -var for var, value in sorted(self.forced.items())]
 
     def __repr__(self) -> str:

@@ -32,6 +32,7 @@ class VSIDSActivity:
             self._rescale()
 
     def bump_all(self, variables: Iterable[int]) -> None:
+        """Bump every variable involved in a conflict."""
         for var in variables:
             self.bump(var)
 
@@ -46,6 +47,7 @@ class VSIDSActivity:
         self._increment *= _RESCALE_FACTOR
 
     def activity(self, var: int) -> float:
+        """Current (decayed) activity score of ``var``."""
         return self._activity[var]
 
     def best(self, candidates: Iterable[int]) -> Optional[int]:

@@ -38,6 +38,7 @@ class TrailDelta:
         self.changed: set = set()
 
     def add(self, var: int) -> None:
+        """Record that ``var`` changed since the last snapshot."""
         self.changed.add(var)
 
     def drain(self) -> set:
@@ -78,6 +79,7 @@ class Trail:
     # ------------------------------------------------------------------
     @property
     def decision_level(self) -> int:
+        """Current decision level (0 = root)."""
         return len(self._level_start) - 1
 
     def value(self, var: int) -> int:
@@ -85,18 +87,21 @@ class Trail:
         return self._value[var]
 
     def literal_is_true(self, literal: int) -> bool:
+        """True when ``literal`` is assigned and satisfied."""
         value = self._value[variable(literal)]
         if value == UNASSIGNED:
             return False
         return value == (1 if literal > 0 else 0)
 
     def literal_is_false(self, literal: int) -> bool:
+        """True when ``literal`` is assigned and falsified."""
         value = self._value[variable(literal)]
         if value == UNASSIGNED:
             return False
         return value == (0 if literal > 0 else 1)
 
     def is_assigned(self, var: int) -> bool:
+        """True when ``var`` has a value on the trail."""
         return self._value[var] != UNASSIGNED
 
     def level(self, var: int) -> int:
@@ -128,12 +133,15 @@ class Trail:
         return result
 
     def num_assigned(self) -> int:
+        """Number of assigned variables."""
         return len(self._trail)
 
     def all_assigned(self) -> bool:
+        """True when every variable has a value (a complete model)."""
         return len(self._trail) == self.num_variables
 
     def unassigned_variables(self) -> List[int]:
+        """The variables still free, ascending."""
         return [
             var
             for var in range(1, self.num_variables + 1)

@@ -7,6 +7,14 @@ level remains (the first unique implication point).  The learned clause is
 asserting after backjumping to the second-highest level it mentions —
 this is precisely the mechanism that gives bsolo non-chronological
 backtracking for both logic conflicts and bound conflicts.
+
+Because every resolution partner is a clausal *reason* recorded by the
+propagation engine, the learned clause is **RUP** (reverse unit
+propagable) with respect to the constraints already in a proof log:
+asserting its negation and unit-propagating replays the implication
+chain back to the conflict.  Proof logging (``SolverOptions(proof=...)``)
+therefore records first-UIP clauses as bare ``u`` steps, with no
+per-resolution bookkeeping; see :mod:`repro.certify`.
 """
 
 from __future__ import annotations

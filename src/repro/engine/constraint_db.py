@@ -195,6 +195,7 @@ class ConstraintDatabase:
         return removed
 
     def num_learned(self) -> int:
+        """Number of learned (non-input) constraints in the database."""
         return sum(1 for stored in self.constraints if stored.learned)
 
     # ------------------------------------------------------------------
@@ -341,6 +342,7 @@ class WatchedConstraintDatabase:
         return iter(self.constraints)
 
     def num_learned(self) -> int:
+        """Number of learned (non-input) constraints in the database."""
         return sum(1 for stored in self.constraints if stored.learned)
 
     # ------------------------------------------------------------------

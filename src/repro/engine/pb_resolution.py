@@ -92,6 +92,7 @@ def derive_resolvent(
     conflict_constraint: Constraint,
     resolved_variables: Sequence[int],
     antecedent_of: Callable[[int], Optional[Constraint]],
+    trace: Optional[List[Tuple]] = None,
 ) -> Optional[Constraint]:
     """Replay the first-UIP resolution walk with cutting planes.
 
@@ -101,6 +102,11 @@ def derive_resolvent(
     it (None aborts — e.g. the literal was asserted by the solver, not
     propagation).  Returns the final implied constraint, or None when the
     derivation is impossible or yields nothing beyond a clause.
+
+    When ``trace`` is given, the successful derivation's ops are appended
+    to it — ``("r", var, antecedent_constraint)`` per resolution and
+    ``("w",)`` per applied cardinality reduction — in replayable order
+    (the format :class:`repro.certify.ProofLogger.log_resolvent` takes).
     """
     resolvent = conflict_constraint
     for var in resolved_variables:
@@ -112,10 +118,14 @@ def derive_resolvent(
         combined = resolve(resolvent, antecedent, var)
         if combined is None or combined.is_tautology:
             return None
-        combined = _tame(combined)
-        if combined is None:
+        if trace is not None:
+            trace.append(("r", var, antecedent))
+        tamed = _tame(combined)
+        if tamed is None:
             return None
-        resolvent = combined
+        if trace is not None and tamed is not combined:
+            trace.append(("w",))
+        resolvent = tamed
     if resolvent.is_tautology or resolvent.is_clause:
         return None  # nothing beyond the clausal learner
     return resolvent

@@ -21,6 +21,15 @@ strategy of the bsolo family of solvers.
 The eager per-assignment work — O(occurrences) slack updates on every
 assignment and undo — is what the ``"watched"`` backend
 (:mod:`repro.engine.watched`) eliminates.
+
+**Proof-logging contract** (``SolverOptions(proof=...)``): the
+slack-based implication rule above is exactly the propagation strength
+the independent checker's RUP replay assumes
+(:class:`repro.certify.checker.ProofChecker`).  Every implication this
+engine derives must be reproducible from "coefficient > slack" over the
+proof database — true by construction here; any *stronger* future rule
+must come with its own proof step kind, or first-UIP clauses would stop
+being RUP-checkable.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ class RestartScheduler:
 
     @property
     def threshold(self) -> int:
+        """Conflicts allowed before the next restart (Luby-scaled)."""
         return self._base * luby(self._sequence_index)
 
     def on_conflict(self) -> bool:

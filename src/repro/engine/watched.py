@@ -36,7 +36,11 @@ general PB constraints (watched sum with slack)
 
 The implied-literal fixed point is identical to the counter engine's by
 construction (both close the rule "coefficient exceeds slack"); the
-differential test suite enforces this on randomized instances.
+differential test suite enforces this on randomized instances.  That
+shared fixed point is also the **proof-logging contract**: the
+independent checker (:class:`repro.certify.checker.ProofChecker`)
+replays RUP steps with the same rule, so proofs logged under either
+backend verify identically.
 """
 
 from __future__ import annotations

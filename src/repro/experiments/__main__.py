@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments export --directory instances/
     python -m repro.experiments propbench --output BENCH_propagation.json
     python -m repro.experiments lbbench --output BENCH_lowerbound.json
+    python -m repro.experiments certsmoke --families mcnc grout
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ from typing import List, Optional
 
 from .ablations import format_ablations, run_ablations
 from .bounds import bound_quality, format_bound_quality
+from .certsmoke import FAMILIES as CERTSMOKE_FAMILIES
+from .certsmoke import format_certsmoke, run_certsmoke
 from .lbbench import FAMILIES as LBBENCH_FAMILIES
 from .lbbench import (
     format_summary as format_lbbench_summary,
@@ -35,6 +38,7 @@ from .table1 import FAMILIES, family_instances, generate_table1
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Subcommand parser for the experiment harness."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Experiment harness for the DATE'05 PBO reproduction",
@@ -137,10 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny instances and budgets (CI smoke configuration)",
     )
     lbbench.add_argument("--output", default="BENCH_lowerbound.json")
+
+    certsmoke = sub.add_parser(
+        "certsmoke",
+        help="solve with proof logging, then independently re-check every proof",
+    )
+    certsmoke.add_argument(
+        "--families", nargs="+", default=list(CERTSMOKE_FAMILIES),
+        choices=CERTSMOKE_FAMILIES,
+    )
+    certsmoke.add_argument("--count", type=int, default=1)
+    certsmoke.add_argument("--scale", type=float, default=0.5)
+    certsmoke.add_argument("--time-limit", type=float, default=30.0)
+    certsmoke.add_argument("--solver", default="bsolo-lpr")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch one experiment subcommand."""
     args = build_parser().parse_args(argv)
     if args.command == "table1":
         count = 2 if args.fast else args.count
@@ -231,6 +249,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_lbbench_summary(report))
         path = write_lbbench_report(report, args.output)
         print("wrote %s" % path)
+    elif args.command == "certsmoke":
+        records = run_certsmoke(
+            families=args.families,
+            count=args.count,
+            scale=args.scale,
+            time_limit=args.time_limit,
+            solver=args.solver,
+        )
+        print(format_certsmoke(records))
+        if not all(row["ok"] for row in records):
+            return 1
     return 0
 
 

@@ -44,10 +44,12 @@ class AblationRecord:
 
     @property
     def solved(self) -> int:
+        """Instances this configuration solved within budget."""
         return sum(1 for result in self.results if result.solved)
 
     @property
     def total_decisions(self) -> int:
+        """Decisions summed over the configuration's runs."""
         return sum(result.stats.decisions for result in self.results)
 
     def __repr__(self) -> str:
@@ -83,6 +85,7 @@ def run_ablations(
 
 
 def format_ablations(records: Sequence[AblationRecord]) -> str:
+    """Fixed-width table of the ablation grid results."""
     rows = [["configuration", "solved", "decisions", "seconds"]]
     for record in records:
         rows.append(

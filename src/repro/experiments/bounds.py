@@ -91,6 +91,7 @@ def bound_quality(
 
 
 def format_bound_quality(records: Sequence[BoundRecord]) -> str:
+    """Fixed-width table of root bound values and times per instance."""
     rows = [["instance", "optimum", "MIS", "LGR", "LPR", "t_MIS", "t_LGR", "t_LPR"]]
     for record in records:
         rows.append(

@@ -386,6 +386,7 @@ def run_lbbench(
 
 
 def write_report(report: Dict[str, Any], path: str = "BENCH_lowerbound.json") -> str:
+    """Persist the benchmark report as pretty-printed JSON."""
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

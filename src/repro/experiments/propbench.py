@@ -293,6 +293,7 @@ def run_propbench(
 
 
 def write_report(report: Dict[str, Any], path: str = "BENCH_propagation.json") -> str:
+    """Persist the benchmark report as pretty-printed JSON."""
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -43,6 +43,7 @@ def make_solver(
     propagation: str = "counter",
     lb_schedule: str = "static",
     incremental_bounds: bool = True,
+    proof=None,
 ):
     """Instantiate a registered solver for one instance.
 
@@ -63,6 +64,7 @@ def make_solver(
         propagation=propagation,
         lb_schedule=lb_schedule,
         incremental_bounds=incremental_bounds,
+        proof=proof,
     )
     return _registry_make_solver(instance, name, options)
 
@@ -80,6 +82,7 @@ class RunRecord:
 
     @property
     def solved(self) -> bool:
+        """True when the run ended with a proven answer."""
         return self.result.solved
 
     def cell(self) -> str:
@@ -120,8 +123,14 @@ def run_one(
     propagation: str = "counter",
     lb_schedule: str = "static",
     incremental_bounds: bool = True,
+    proof=None,
 ) -> RunRecord:
-    """Run one solver on one instance with a wall-clock budget."""
+    """Run one solver on one instance with a wall-clock budget.
+
+    ``proof`` is an optional :class:`repro.certify.ProofLogger`; only
+    the bsolo solvers honour it (they record a checkable derivation of
+    the answer — see ``docs/PROOFS.md``).
+    """
     solver = make_solver(
         solver_name,
         instance,
@@ -133,6 +142,7 @@ def run_one(
         propagation=propagation,
         lb_schedule=lb_schedule,
         incremental_bounds=incremental_bounds,
+        proof=proof,
     )
     start = time.monotonic()
     result = solver.solve()

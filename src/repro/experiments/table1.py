@@ -100,6 +100,7 @@ class Table1Result:
         return totals
 
     def solved_by_family(self, solver: str) -> Dict[str, int]:
+        """#Solved per family for one solver column."""
         return {
             family: solved_counts(records)[solver]
             for family, records in self.per_family.items()

@@ -154,6 +154,8 @@ class SimplexSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> LPResult:
+        """Run the (possibly warm-started) simplex; numerically-failed
+        runs degrade to an unsolved LPResult instead of raising."""
         try:
             return self._solve()
         except np.linalg.LinAlgError:

@@ -72,10 +72,12 @@ class FullLPData:
 
     @property
     def num_vars(self) -> int:
+        """Number of structural variables."""
         return len(self.columns)
 
     @property
     def num_rows(self) -> int:
+        """Number of constraint rows."""
         return len(self.rows)
 
 
@@ -198,10 +200,12 @@ class LPData:
 
     @property
     def num_columns(self) -> int:
+        """Number of LP columns (variables)."""
         return len(self.columns)
 
     @property
     def num_rows(self) -> int:
+        """Number of constraint rows."""
         return len(self.rows)
 
 

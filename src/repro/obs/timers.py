@@ -80,6 +80,7 @@ class PhaseTimer:
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:
+        """Current phase-nesting depth."""
         return len(self._stack)
 
     def snapshot(self) -> Dict[str, float]:
@@ -109,22 +110,28 @@ class NullPhaseTimer:
 
     @property
     def totals(self) -> Dict[str, float]:
+        """Always empty: the null timer records nothing."""
         return {}
 
     @property
     def depth(self) -> int:
+        """Always 0: the null timer tracks no phases."""
         return 0
 
     def push(self, name: str) -> None:
+        """No-op."""
         pass
 
     def pop(self) -> str:
+        """No-op; returns an empty phase name."""
         return ""
 
     def phase(self, name: str) -> _NullContext:
+        """No-op context manager."""
         return _NULL_CONTEXT
 
     def snapshot(self) -> Dict[str, float]:
+        """Always empty: nothing is being timed."""
         return {}
 
 

@@ -39,12 +39,15 @@ class Tracer:
     instance_label = ""
 
     def emit(self, event: Event) -> None:
+        """Record one event (base class: drop it)."""
         pass
 
     def flush(self) -> None:
+        """Push buffered events to the sink (base class: no-op)."""
         pass
 
     def close(self) -> None:
+        """Release the sink (base class: no-op)."""
         pass
 
     def __enter__(self) -> "Tracer":
@@ -95,6 +98,7 @@ class JsonlTracer(Tracer):
 
     # ------------------------------------------------------------------
     def emit(self, event: Event) -> None:
+        """Buffer one event, stamped with the run-relative time."""
         now = self._clock()
         if self._start is None:
             self._start = now
@@ -106,6 +110,7 @@ class JsonlTracer(Tracer):
             self.flush()
 
     def flush(self) -> None:
+        """Write the buffered JSONL lines out."""
         if not self._buffer:
             return
         self._file.write("\n".join(self._buffer) + "\n")
@@ -113,6 +118,7 @@ class JsonlTracer(Tracer):
         self._buffer.clear()
 
     def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
         if self._closed:
             return
         self.flush()

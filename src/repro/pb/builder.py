@@ -61,6 +61,7 @@ class PBModel:
 
     @property
     def num_variables(self) -> int:
+        """Number of distinct variables registered so far."""
         return self._num_variables
 
     def _register(self, literals: Iterable[int]) -> None:
@@ -101,12 +102,15 @@ class PBModel:
         return self.add_greater_equal([(1, lit) for lit in literals], 1)
 
     def add_at_least(self, literals: Iterable[int], count: int) -> Constraint:
+        """Cardinality constraint: at least ``count`` literals true."""
         return self.add_greater_equal([(1, lit) for lit in literals], count)
 
     def add_at_most(self, literals: Iterable[int], count: int) -> Constraint:
+        """Cardinality constraint: at most ``count`` literals true."""
         return self.add_less_equal([(1, lit) for lit in literals], count)
 
     def add_exactly(self, literals: Iterable[int], count: int) -> Tuple[Constraint, Constraint]:
+        """Exactly ``count`` literals true (an at-least/at-most pair)."""
         literals = list(literals)
         return (
             self.add_at_least(literals, count),

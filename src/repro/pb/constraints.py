@@ -192,10 +192,12 @@ class Constraint:
     # ------------------------------------------------------------------
     @property
     def literals(self) -> Tuple[int, ...]:
+        """The constraint's literals, in term order."""
         return tuple(lit for _, lit in self.terms)
 
     @property
     def variables(self) -> Tuple[int, ...]:
+        """The underlying variables, in term order."""
         return tuple(variable(lit) for _, lit in self.terms)
 
     def coefficient(self, literal: int) -> int:

@@ -59,6 +59,7 @@ class PBInstance:
     # ------------------------------------------------------------------
     @property
     def num_constraints(self) -> int:
+        """Number of constraints kept after normalization."""
         return len(self.constraints)
 
     @property

@@ -130,6 +130,7 @@ class Objective:
         return sum(self.costs.values())
 
     def variables(self) -> Tuple[int, ...]:
+        """The costed variables, ascending."""
         return tuple(sorted(self.costs))
 
     def __eq__(self, other: object) -> bool:

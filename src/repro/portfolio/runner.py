@@ -127,6 +127,7 @@ class PortfolioSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
+        """Run the worker processes and return the best combined result."""
         start = time.monotonic()
         ctx = multiprocessing.get_context(self._start_method)
         best_value = ctx.Value("q", _NO_BOUND)

@@ -55,6 +55,7 @@ class PortfolioStats(SolverStats):
     def add_worker_result(self, label: str, solver: str, status: str,
                           cost: Optional[int], seconds: float,
                           stats_dict: Dict[str, Any]) -> None:
+        """Record one worker's completed run."""
         self.workers.append(
             {
                 "label": label,
@@ -78,6 +79,7 @@ class PortfolioStats(SolverStats):
             )
 
     def add_worker_failure(self, label: str, solver: str, error: str) -> None:
+        """Record a worker that crashed instead of returning."""
         self.failures += 1
         self.workers.append(
             {
@@ -90,6 +92,7 @@ class PortfolioStats(SolverStats):
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, Any]:
+        """Solver stats extended with the per-worker portfolio block."""
         data = super().as_dict()
         data["portfolio"] = {
             "workers": [dict(entry) for entry in self.workers],

@@ -1,0 +1,504 @@
+"""Tests for proof logging and independent checking (repro.certify)."""
+
+import subprocess
+import sys
+from io import StringIO
+
+import pytest
+
+from repro.certify import (
+    CheckOutcome,
+    ProofChecker,
+    ProofError,
+    ProofLogger,
+    ProofSyntaxError,
+)
+from repro.certify import format as fmt
+from repro.certify import rules
+from repro.core import BsoloSolver, SolverOptions
+from repro.pb import Constraint, Objective, PBInstance
+
+
+def covering_instance():
+    return PBInstance(
+        [
+            Constraint.clause([1, 2]),
+            Constraint.clause([2, 3]),
+            Constraint.clause([1, 3]),
+        ],
+        Objective({1: 3, 2: 2, 3: 2}),
+    )
+
+
+def solve_with_proof(instance, assumptions=None, **options):
+    """Solve under a StringIO proof sink; returns (result, proof text)."""
+    sink = StringIO()
+    logger = ProofLogger(sink)
+    solver = BsoloSolver(instance, SolverOptions(proof=logger, **options))
+    result = solver.solve(assumptions=assumptions)
+    logger.close()
+    return result, sink.getvalue()
+
+
+class TestFormatRoundTrip:
+    def test_all_step_kinds_round_trip(self):
+        constraint = Constraint.greater_equal([(2, 1), (1, -2)], 2)
+        steps = [
+            fmt.Step(fmt.ASSUMPTION, literals=(3,)),
+            fmt.Step(fmt.RUP, literals=(1, -2)),
+            fmt.Step(fmt.SOLUTION, literals=(1, -2, 3)),
+            fmt.Step(fmt.CARD_CUT, ids=(2,)),
+            fmt.Step(
+                fmt.RESOLVE,
+                base=1,
+                ops=(("r", 2, 3), ("w",)),
+                constraint=constraint,
+            ),
+            fmt.Step(
+                fmt.BOUND_MIS, variables=(1,), ids=(2, 3), literals=(-1, 4)
+            ),
+            fmt.Step(
+                fmt.BOUND_LIN, ids=(1, 2), multipliers=(3, 1), literals=(-1,)
+            ),
+            fmt.Step(fmt.CONTRADICTION),
+            fmt.Step(fmt.END, status="optimal", cost=7),
+        ]
+        text = "\n".join(
+            [fmt.HEADER, "f 3"] + [fmt.format_step(step) for step in steps]
+        )
+        num_inputs, parsed = fmt.parse_proof(text)
+        assert num_inputs == 3
+        assert len(parsed) == len(steps)
+        for original, reparsed in zip(steps, parsed):
+            assert reparsed.kind == original.kind
+            assert fmt.format_step(reparsed) == fmt.format_step(original)
+        assert parsed[4].constraint == constraint
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ProofSyntaxError):
+            fmt.parse_proof("nope\nf 1\n")
+
+    def test_syntax_error_carries_line(self):
+        text = fmt.HEADER + "\nf 1\nu 1 2 0\nq broken\n"
+        with pytest.raises(ProofSyntaxError) as info:
+            fmt.parse_proof(text)
+        assert info.value.line == 4
+
+    def test_end_statuses_validated(self):
+        with pytest.raises(ProofSyntaxError):
+            fmt.parse_proof(fmt.HEADER + "\nf 0\ne maybe\n")
+        with pytest.raises(ProofSyntaxError):
+            fmt.parse_proof(fmt.HEADER + "\nf 0\ne optimal\n")  # cost missing
+
+
+class TestRules:
+    def test_combine_and_cut_off(self):
+        c1 = Constraint.greater_equal([(1, 1), (1, 2)], 1)
+        c2 = Constraint.greater_equal([(1, -1), (1, 2)], 1)
+        combined = rules.combine([(c1, 1), (c2, 1)])
+        # x1 cancels: 2*x2 >= 1, so the unit clause (2,) is cut off
+        assert rules.clause_cut_off(combined, [2])
+        assert not rules.clause_cut_off(c1, [2])
+
+    def test_combine_rejects_nonpositive_multiplier(self):
+        c1 = Constraint.clause([1])
+        with pytest.raises(ValueError):
+            rules.combine([(c1, 0)])
+
+    def test_improvement_axiom(self):
+        axiom = rules.improvement_axiom({1: 3, 2: 2}, 4)
+        assert not axiom.is_satisfied_by({1: 1, 2: 1})  # cost 5 > 3
+        assert axiom.is_satisfied_by({1: 1, 2: 0})  # cost 3 <= 3
+        # constant objective: tautology
+        assert rules.improvement_axiom({}, 0).is_tautology
+
+    def test_cardinality_cut_matches_paper_eq13(self):
+        # x1+x2+x3 >= 2 with member costs 1,2,3: V = 1+2 = 3
+        source = Constraint.at_least([1, 2, 3], 2)
+        costs = {1: 1, 2: 2, 3: 3, 4: 5}
+        cut = rules.cardinality_cut(source, costs, upper=6)
+        # outside budget: 6 - 1 - 3 = 2, so 5*x4 <= 2 forces x4 = 0
+        assert cut is not None
+        assert not cut.is_satisfied_by({4: 1})
+        assert cut.is_satisfied_by({4: 0})
+
+    def test_cardinality_cut_negative_budget_is_unsat(self):
+        source = Constraint.at_least([1, 2], 2)
+        cut = rules.cardinality_cut(source, {1: 5, 2: 5}, upper=4)
+        assert cut is not None and cut.is_unsatisfiable
+
+    def test_check_mis_bound_accepts_sound_accounting(self):
+        c1 = Constraint.clause([1, 2])
+        costs = {1: 2, 2: 2}
+        # ~clause pins x1 = 0; satisfying c1 then costs 2 >= upper
+        assert rules.check_mis_bound([1], [], [c1], costs, upper=2)
+        assert not rules.check_mis_bound([1], [], [c1], costs, upper=3)
+
+    def test_check_mis_bound_rejects_double_charge(self):
+        c1 = Constraint.clause([1, 2])
+        c2 = Constraint.clause([2, 3])
+        costs = {1: 1, 2: 1, 3: 1}
+        # both constraints would charge x2: disjointness is violated and
+        # the combined accounting must be refused outright
+        assert not rules.check_mis_bound([1, 3], [], [c1, c2], costs, upper=3)
+
+    def test_replay_resolution(self):
+        c1 = Constraint.greater_equal([(2, 1), (1, 2), (1, 3)], 2)
+        c2 = Constraint.greater_equal([(2, -1), (1, 2), (1, 4)], 2)
+        result = rules.replay_resolution(c1, [("r", 1, 2)], {1: c1, 2: c2})
+        assert result is not None
+        assert result.coefficient(1) == 0 and result.coefficient(-1) == 0
+        # unknown antecedent id refuses the replay
+        assert rules.replay_resolution(c1, [("r", 1, 9)], {1: c1, 2: c2}) is None
+
+
+class TestEndToEnd:
+    def test_optimal_proof_verifies(self):
+        instance = covering_instance()
+        result, text = solve_with_proof(instance)
+        assert result.is_optimal
+        outcome = ProofChecker(instance).check_text(text)
+        assert outcome.certified
+        assert outcome.status == "optimal"
+        assert outcome.cost == result.best_cost
+        assert not outcome.conditional
+        assert outcome.model is not None
+
+    def test_unsat_proof_verifies(self):
+        instance = PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([-1, 2]),
+                Constraint.clause([1, -2]),
+                Constraint.clause([-1, -2]),
+            ]
+        )
+        result, text = solve_with_proof(instance)
+        assert result.status == "unsatisfiable"
+        outcome = ProofChecker(instance).check_text(text)
+        assert outcome.status == "unsatisfiable"
+        assert outcome.model is None
+
+    def test_constant_objective_satisfiable_claim(self):
+        instance = PBInstance([Constraint.clause([1, 2])])
+        result, text = solve_with_proof(instance)
+        assert result.solved
+        outcome = ProofChecker(instance).check_text(text)
+        assert outcome.status == "satisfiable"
+
+    def test_assumptions_make_claim_conditional(self):
+        instance = PBInstance(
+            [Constraint.clause([1, 2]), Constraint.clause([-2, 3])],
+            Objective({1: 1, 2: 1, 3: 1}),
+        )
+        result, text = solve_with_proof(instance, assumptions=[2])
+        assert result.solved
+        outcome = ProofChecker(instance).check_text(text)
+        assert outcome.conditional
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"propagation": "watched"},
+            {"lb_schedule": "adaptive"},
+            {"incremental_bounds": False},
+            {"lower_bound": "mis"},
+            {"lower_bound": "lgr"},
+            {"pb_learning": True},
+            {"bound_conflict_learning": False},
+            {"restarts": True, "restart_interval": 4},
+            {"upper_bound_cuts": False},
+        ],
+    )
+    def test_option_mixes_all_certify(self, options):
+        instance = covering_instance()
+        result, text = solve_with_proof(instance, **options)
+        assert result.is_optimal
+        outcome = ProofChecker(instance).check_text(text)
+        assert outcome.status == "optimal"
+        assert outcome.cost == result.best_cost
+
+    def test_quick_families_all_configs(self):
+        """Certify-after-solve across families x engine/schedule configs."""
+        from repro.experiments.certsmoke import run_certsmoke
+
+        records = run_certsmoke(count=1, scale=0.25, time_limit=30.0)
+        assert records, "no runs executed"
+        bad = [row for row in records if not row["ok"]]
+        assert not bad, bad
+
+    def test_proof_mode_matches_reference_run(self):
+        instance = covering_instance()
+        reference = BsoloSolver(instance, SolverOptions()).solve()
+        result, _ = solve_with_proof(instance)
+        assert result.status == reference.status
+        assert result.best_cost == reference.best_cost
+
+
+class TestProofModeOptions:
+    def test_proof_with_external_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(proof=ProofLogger(StringIO()), external_bound=object())
+
+    def test_set_upper_bound_declined_under_proof(self):
+        logger = ProofLogger(StringIO())
+        solver = BsoloSolver(covering_instance(), SolverOptions(proof=logger))
+        assert solver.set_upper_bound(100) is False
+
+    def test_logger_cannot_be_reused(self):
+        instance = covering_instance()
+        logger = ProofLogger(StringIO())
+        BsoloSolver(instance, SolverOptions(proof=logger)).solve()
+        with pytest.raises(RuntimeError):
+            BsoloSolver(instance, SolverOptions(proof=logger)).solve()
+
+
+class TestAdversarial:
+    """Tampered proofs must be rejected with step-numbered errors."""
+
+    def _valid_proof(self):
+        instance = covering_instance()
+        result, text = solve_with_proof(instance)
+        assert result.is_optimal
+        return instance, text
+
+    def _assert_rejected(self, instance, text):
+        with pytest.raises(ProofError) as info:
+            ProofChecker(instance).check_text(text)
+        assert "proof step" in str(info.value) or "header" in str(info.value)
+        return info.value
+
+    def test_wrong_final_cost_rejected(self):
+        instance, text = self._valid_proof()
+        lines = text.splitlines()
+        assert lines[-1].startswith("e optimal")
+        lines[-1] = "e optimal 0"
+        error = self._assert_rejected(instance, "\n".join(lines))
+        assert error.step > 0
+
+    def test_dropped_solution_step_rejected(self):
+        instance, text = self._valid_proof()
+        lines = [line for line in text.splitlines() if not line.startswith("o ")]
+        self._assert_rejected(instance, "\n".join(lines))
+
+    def test_truncated_proof_rejected(self):
+        instance, text = self._valid_proof()
+        lines = text.splitlines()[:-1]  # drop the final 'e' claim
+        error = self._assert_rejected(instance, "\n".join(lines))
+        assert "truncated" in str(error)
+
+    def test_steps_after_end_rejected(self):
+        instance, text = self._valid_proof()
+        error = self._assert_rejected(instance, text + "u 1 0\n")
+        assert "after the final" in str(error)
+
+    def test_bogus_model_rejected(self):
+        instance, text = self._valid_proof()
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("o "):
+                # flip every literal: the model violates the clauses
+                literals = [-int(tok) for tok in line.split()[1:]]
+                lines[index] = "o " + " ".join(str(lit) for lit in literals)
+                break
+        self._assert_rejected(instance, "\n".join(lines))
+
+    def test_wrong_input_count_rejected(self):
+        instance, text = self._valid_proof()
+        lines = text.splitlines()
+        assert lines[1] == "f 3"
+        lines[1] = "f 2"
+        error = self._assert_rejected(instance, "\n".join(lines))
+        assert error.step == 0  # header-level mismatch
+
+    def test_mutated_resolvent_coefficient_rejected(self):
+        # hand-build a proof whose 'p' step states a mutated resolvent
+        c1 = Constraint.greater_equal([(2, 1), (1, 2), (1, 3)], 2)
+        c2 = Constraint.greater_equal([(2, -1), (1, 2), (1, 4)], 2)
+        instance = PBInstance([c1, c2])
+        resolvent = rules.replay_resolution(c1, [("r", 1, 2)], {1: c1, 2: c2})
+        good = "\n".join(
+            [
+                fmt.HEADER,
+                "f 2",
+                fmt.format_step(
+                    fmt.Step(
+                        fmt.RESOLVE,
+                        base=1,
+                        ops=(("r", 1, 2),),
+                        constraint=resolvent,
+                    )
+                ),
+                "e unknown",
+                "",
+            ]
+        )
+        ProofChecker(instance).check_text(good)  # sanity: verifies
+        mutated = rules.combine([(resolvent, 2)])  # doubled coefficients
+        bad = good.replace(
+            fmt.format_constraint(resolvent), fmt.format_constraint(mutated)
+        )
+        assert bad != good
+        error = self._assert_rejected(instance, bad)
+        assert error.step == 1
+
+    def test_forged_bound_explanation_rejected(self):
+        # c1 justifies the bound clause, unrelated c2 does not
+        c1 = Constraint.clause([1, 2])
+        c2 = Constraint.clause([3, 4])
+        instance = PBInstance([c1, c2], Objective({1: 2, 2: 2}))
+        header = [fmt.HEADER, "f 2"]
+        solution = fmt.format_step(
+            fmt.Step(fmt.SOLUTION, literals=(1, -2, -3, 4))
+        )  # cost 2 -> axiom id 3
+
+        def bound(cid):
+            return fmt.format_step(
+                fmt.Step(
+                    fmt.BOUND_MIS, variables=(), ids=(cid,), literals=(1,)
+                )
+            )
+
+        good = "\n".join(header + [solution, bound(1), "e unknown", ""])
+        ProofChecker(instance).check_text(good)  # sanity: c1 justifies it
+        forged = "\n".join(header + [solution, bound(2), "e unknown", ""])
+        error = self._assert_rejected(instance, forged)
+        assert error.step == 2
+        assert "MIS accounting" in str(error)
+
+    def test_wrong_linear_multiplier_rejected(self):
+        # multiplier 0 (and a combination too weak to cut the clause off)
+        c1 = Constraint.greater_equal([(1, 1), (1, 2)], 1)
+        instance = PBInstance([c1], Objective({1: 1, 2: 1}))
+        header = [fmt.HEADER, "f 1"]
+        solution = fmt.format_step(
+            fmt.Step(fmt.SOLUTION, literals=(1, -2))
+        )  # cost 1 -> axiom id 2: x1 + x2 <= 0
+
+        def lin(ids, multipliers):
+            return fmt.format_step(
+                fmt.Step(
+                    fmt.BOUND_LIN,
+                    ids=ids,
+                    multipliers=multipliers,
+                    literals=(-1,),
+                )
+            )
+
+        good = "\n".join(
+            header + [solution, lin((1, 2), (1, 1)), "e unknown", ""]
+        )
+        ProofChecker(instance).check_text(good)  # sanity
+        zero = "\n".join(
+            header + [solution, lin((1, 2), (1, 0)), "e unknown", ""]
+        )
+        error = self._assert_rejected(instance, zero)
+        assert "multiplier" in str(error)
+        weak = "\n".join(header + [solution, lin((1,), (5,)), "e unknown", ""])
+        error = self._assert_rejected(instance, weak)
+        assert error.step == 2
+
+
+class TestCheckerIsolation:
+    def test_checker_imports_no_search_code(self):
+        """The trust base excludes repro.core and repro.engine entirely.
+
+        Audits every import statement in src/repro/certify: the checker
+        may depend on repro.pb arithmetic only, never on the search code
+        whose answers it is supposed to verify.
+        """
+        import ast
+        import pathlib
+
+        import repro.certify
+
+        package = pathlib.Path(repro.certify.__file__).parent
+        forbidden = ("repro.core", "repro.engine")
+        leaked = []
+        for path in sorted(package.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level:  # relative: resolve against repro.certify
+                        base = "repro" if node.level == 2 else "repro.certify"
+                        module = node.module or ""
+                        names = [
+                            ".".join(filter(None, (base, module, alias.name)))
+                            for alias in node.names
+                        ]
+                    else:
+                        names = [node.module or ""]
+                else:
+                    continue
+                leaked.extend(
+                    (path.name, name)
+                    for name in names
+                    if name.startswith(forbidden)
+                )
+        assert not leaked, leaked
+
+    def test_certify_package_importable_standalone(self):
+        """`import repro.certify` works in a fresh interpreter."""
+        completed = subprocess.run(
+            [sys.executable, "-c", "import repro.certify"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestCli:
+    def test_certify_main_round_trip(self, tmp_path, capsys):
+        from repro.cli import certify_main, main
+        from repro.pb.opb import write_file
+
+        instance = covering_instance()
+        opb = tmp_path / "instance.opb"
+        proof = tmp_path / "proof.pbp"
+        write_file(instance, str(opb))
+        assert main([str(opb), "--solver", "bsolo-lpr", "--proof", str(proof)]) == 0
+        out = capsys.readouterr().out
+        assert "c proof file=" in out
+        assert certify_main([str(opb), str(proof)]) == 0
+        out = capsys.readouterr().out
+        assert "s VERIFIED" in out
+        assert "c claim optimal" in out
+
+    def test_certify_main_rejects_tampered(self, tmp_path, capsys):
+        from repro.cli import certify_main, main
+        from repro.pb.opb import write_file
+
+        instance = covering_instance()
+        opb = tmp_path / "instance.opb"
+        proof = tmp_path / "proof.pbp"
+        write_file(instance, str(opb))
+        assert main([str(opb), "--proof", str(proof)]) == 0
+        capsys.readouterr()
+        text = proof.read_text().splitlines()
+        text[-1] = "e optimal 0"
+        tampered = tmp_path / "tampered.pbp"
+        tampered.write_text("\n".join(text) + "\n")
+        assert certify_main([str(opb), str(tampered)]) == 2
+        out = capsys.readouterr().out
+        assert "s NOT VERIFIED" in out
+        assert "proof step" in out
+
+    def test_proof_flag_guards(self, tmp_path):
+        from repro.cli import main
+        from repro.pb.opb import write_file
+
+        opb = tmp_path / "instance.opb"
+        write_file(covering_instance(), str(opb))
+        with pytest.raises(SystemExit):
+            main([str(opb), "--proof", "x.pbp", "--portfolio", "2"])
+        with pytest.raises(SystemExit):
+            main([str(opb), "--proof", "x.pbp", "--solver", "pbs"])
+
+
+class TestStats:
+    def test_uncertified_prunes_counter_present(self):
+        result, _ = solve_with_proof(covering_instance())
+        stats = result.stats.as_dict()
+        assert "uncertified_prunes" in stats

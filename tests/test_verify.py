@@ -7,6 +7,7 @@ from repro.core import (
     SolveResult,
     SolverOptions,
     VerificationError,
+    VerifyOutcome,
     solve,
     verify_result,
 )
@@ -29,7 +30,11 @@ class TestHappyPaths:
     def test_optimal_verifies(self):
         instance = covering_instance()
         result = solve(instance)
-        assert verify_result(instance, result)
+        outcome = verify_result(instance, result)
+        assert outcome
+        assert outcome.verified
+        assert outcome.status == VerifyOutcome.VERIFIED
+        assert "optimality" in outcome.checks
 
     def test_satisfiable_verifies(self):
         instance = PBInstance([Constraint.clause([1, 2])])
@@ -46,7 +51,9 @@ class TestHappyPaths:
             ]
         )
         result = solve(instance)
-        assert verify_result(instance, result)
+        outcome = verify_result(instance, result)
+        assert outcome.verified
+        assert outcome.checks == ("unsatisfiability",)
 
     def test_zero_cost_optimum(self):
         instance = PBInstance([Constraint.clause([-1])], Objective({1: 5}))
@@ -120,14 +127,39 @@ class TestCustomProver:
 
         assert verify_result(instance, result, prover=bsolo_prover)
 
-    def test_prover_budget_exhaustion_is_tolerated(self):
+    def test_prover_budget_exhaustion_reported_as_unverified(self):
         instance = covering_instance()
         result = solve(instance)
 
         def lazy_prover(subinstance, time_limit):
             return SolveResult(UNKNOWN)
 
-        assert verify_result(instance, result, prover=lazy_prover)
+        outcome = verify_result(instance, result, prover=lazy_prover)
+        assert outcome  # truthy for back-compat: nothing failed
+        assert not outcome.verified
+        assert outcome.status == VerifyOutcome.UNVERIFIED
+        assert "optimality" not in outcome.checks
+        assert "feasibility" in outcome.checks
+        assert "unknown" in outcome.detail
+
+    def test_prover_budget_exhaustion_on_unsat_is_unverified(self):
+        instance = PBInstance(
+            [
+                Constraint.clause([1, 2]),
+                Constraint.clause([-1, 2]),
+                Constraint.clause([1, -2]),
+                Constraint.clause([-1, -2]),
+            ]
+        )
+        result = solve(instance)
+
+        def lazy_prover(subinstance, time_limit):
+            return SolveResult(UNKNOWN)
+
+        outcome = verify_result(instance, result, prover=lazy_prover)
+        assert outcome
+        assert not outcome.verified
+        assert "unsatisfiability" in outcome.detail
 
 
 class TestDifferential:
@@ -144,4 +176,6 @@ class TestDifferential:
         for name in SOLVER_NAMES:
             record = run_one(name, instance, "fuzz", time_limit=10.0)
             assert record.solved, name
-            assert verify_result(instance, record.result), name
+            outcome = verify_result(instance, record.result)
+            # distinguish "checked and certified" from "prover gave up"
+            assert outcome.verified, (name, outcome)

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Dependency-free docstring-coverage gate (interrogate stand-in).
+
+CI environments for this repo must not need anything beyond the standard
+library, so this script reimplements the subset of `interrogate`'s
+behaviour we configure in ``[tool.interrogate]`` (pyproject.toml): count
+modules, classes, and functions/methods under ``src/``, skip private and
+magic names (and ``__init__`` methods and function-local helpers), and
+fail when the documented fraction drops below the threshold.
+
+When ``interrogate`` *is* installed it reads the same pyproject section
+and should agree; this script is the one CI actually runs::
+
+    python tools/check_docstrings.py            # gate at the configured %
+    python tools/check_docstrings.py --list     # show every undocumented node
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: Kept in sync with [tool.interrogate] in pyproject.toml.
+DEFAULT_FAIL_UNDER = 95.0
+DEFAULT_PATHS = ("src",)
+
+
+def _load_config(repo_root: str) -> Tuple[float, Tuple[str, ...]]:
+    """Read fail-under / paths from pyproject's [tool.interrogate].
+
+    Falls back to the module defaults when tomllib is unavailable
+    (Python < 3.11) or the section is missing.
+    """
+    path = os.path.join(repo_root, "pyproject.toml")
+    try:
+        import tomllib
+    except ImportError:
+        return DEFAULT_FAIL_UNDER, DEFAULT_PATHS
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except OSError:
+        return DEFAULT_FAIL_UNDER, DEFAULT_PATHS
+    section = data.get("tool", {}).get("interrogate", {})
+    fail_under = float(section.get("fail-under", DEFAULT_FAIL_UNDER))
+    paths = tuple(section.get("paths", DEFAULT_PATHS))
+    return fail_under, paths
+
+
+def _python_files(paths: Tuple[str, ...]) -> Iterator[str]:
+    for root in paths:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+def _is_magic(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _walk_nodes(filename: str, tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (qualified name, node) for every docstring-carrying scope.
+
+    Mirrors the interrogate config: private names, magic methods,
+    ``__init__``, and function-local definitions are not counted.
+    """
+    yield filename, tree
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_private(child.name):
+                    continue
+                label = "%s:%s" % (prefix, child.name)
+                yield label, child
+                yield from visit(child, label)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # function-local helpers are not part of the API surface
+                if _is_private(child.name) or _is_magic(child.name):
+                    continue
+                yield "%s:%s" % (prefix, child.name), child
+
+    yield from visit(tree, filename)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fail-under", type=float, default=None,
+        help="override the pyproject threshold (percent)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print every undocumented node"
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    fail_under, paths = _load_config(repo_root)
+    if args.fail_under is not None:
+        fail_under = args.fail_under
+
+    total = 0
+    documented = 0
+    missing: List[str] = []
+    for filename in _python_files(
+        tuple(os.path.join(repo_root, p) for p in paths)
+    ):
+        with open(filename, "r") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            print("cannot parse %s: %s" % (filename, exc), file=sys.stderr)
+            return 2
+        rel = os.path.relpath(filename, repo_root)
+        for label, node in _walk_nodes(rel, tree):
+            total += 1
+            if ast.get_docstring(node):
+                documented += 1
+            else:
+                missing.append(label)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        "docstring coverage: %d/%d = %.1f%% (threshold %.1f%%)"
+        % (documented, total, coverage, fail_under)
+    )
+    if args.list or coverage < fail_under:
+        for label in missing:
+            print("  undocumented: %s" % label)
+    if coverage < fail_under:
+        print("FAIL: coverage %.1f%% is below %.1f%%" % (coverage, fail_under))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
