@@ -1,16 +1,20 @@
 """``python -m repro`` — alias for the ``bsolo`` command-line interface.
 
-One subcommand is recognized before the solver CLI: ``certify``, which
+Two subcommands are recognized before the solver CLI: ``certify``
 dispatches to the independent proof checker
-(``python -m repro certify instance.opb proof.pbp``).
+(``python -m repro certify instance.opb proof.pbp``) and ``obs``
+dispatches to the trace tooling
+(``python -m repro obs {merge,report} ...``).
 """
 
 import sys
 
-from .cli import certify_main, main
+from .cli import certify_main, main, obs_main
 
 if __name__ == "__main__":
     argv = sys.argv[1:]
     if argv and argv[0] == "certify":
         sys.exit(certify_main(argv[1:]))
+    if argv and argv[0] == "obs":
+        sys.exit(obs_main(argv[1:]))
     sys.exit(main(argv))

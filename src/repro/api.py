@@ -112,12 +112,22 @@ def solve(
     options: Optional[SolverOptions] = None,
     timeout: Optional[float] = None,
     propagation: Optional[str] = None,
+    tracer=None,
+    profile: Optional[bool] = None,
+    metrics=None,
+    hotspot=None,
 ) -> SolveResult:
     """Solve ``instance`` with any registered solver; the façade.
 
     ``timeout`` (seconds) overrides ``options.time_limit`` when given;
     ``propagation`` overrides ``options.propagation`` (a backend name
-    from :func:`repro.engine.available_engines`).  For backward
+    from :func:`repro.engine.available_engines`).  The observability
+    instruments — ``tracer`` (a :class:`repro.obs.Tracer`), ``profile``
+    (phase timing on/off), ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) and ``hotspot`` (a
+    :class:`repro.obs.HotspotProfiler`) — likewise override the
+    corresponding options fields when given, so instrumented one-off
+    runs need no explicit :class:`SolverOptions`.  For backward
     compatibility with the original ``solve(instance, options)``
     signature, a :class:`SolverOptions` passed as the second positional
     argument selects the default bsolo solver with those options.
@@ -126,10 +136,21 @@ def solve(
         if options is not None:
             raise TypeError("options passed twice")
         solver, options = "bsolo", solver
+    overrides = {}
     if timeout is not None:
-        options = (options or SolverOptions()).replace(time_limit=timeout)
+        overrides["time_limit"] = timeout
     if propagation is not None:
-        options = (options or SolverOptions()).replace(propagation=propagation)
+        overrides["propagation"] = propagation
+    if tracer is not None:
+        overrides["tracer"] = tracer
+    if profile is not None:
+        overrides["profile"] = profile
+    if metrics is not None:
+        overrides["metrics"] = metrics
+    if hotspot is not None:
+        overrides["hotspot"] = hotspot
+    if overrides:
+        options = (options or SolverOptions()).replace(**overrides)
     return make_solver(instance, solver, options).solve()
 
 

@@ -20,6 +20,9 @@ from ..core.result import (
     UNSATISFIABLE,
 )
 from ..core.stats import SolverStats
+from ..obs.events import IncumbentEvent, ResultEvent, RunHeaderEvent
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 
 
 class BruteForceSolver:
@@ -37,6 +40,9 @@ class BruteForceSolver:
             )
         self._instance = instance
         self._options = merge_solver_options(options)
+        opts = self._options
+        self._tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if opts.profile else NULL_TIMER
         self.stats = SolverStats()
 
     def solve(self) -> SolveResult:
@@ -48,38 +54,54 @@ class BruteForceSolver:
             if options.time_limit is not None else None
         )
         instance = self._instance
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options={"strategy": "enumeration"},
+                )
+            )
         n = instance.num_variables
         best_cost: Optional[int] = None
         best_assignment: Optional[Dict[int, int]] = None
         status: Optional[str] = None
         stats = self.stats
-        for index, bits in enumerate(itertools.product((0, 1), repeat=n)):
-            if index % 4096 == 0 and index:
-                if deadline is not None and time.monotonic() > deadline:
-                    status = UNKNOWN
-                    break
-                if options.should_stop is not None and options.should_stop():
-                    stats.interrupted = True
-                    status = UNKNOWN
-                    break
-            assignment = {var: bits[var - 1] for var in range(1, n + 1)}
-            if not instance.check(assignment):
-                continue
-            cost = instance.cost(assignment)
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_assignment = assignment
-                stats.solutions_found += 1
-                if options.on_incumbent is not None:
-                    options.on_incumbent(cost, dict(assignment))
-                if instance.is_satisfaction:
-                    break
+        with self._timer.phase("enumerate"):
+            for index, bits in enumerate(itertools.product((0, 1), repeat=n)):
+                if index % 4096 == 0 and index:
+                    if deadline is not None and time.monotonic() > deadline:
+                        status = UNKNOWN
+                        break
+                    if options.should_stop is not None and options.should_stop():
+                        stats.interrupted = True
+                        status = UNKNOWN
+                        break
+                assignment = {var: bits[var - 1] for var in range(1, n + 1)}
+                if not instance.check(assignment):
+                    continue
+                cost = instance.cost(assignment)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_assignment = assignment
+                    stats.solutions_found += 1
+                    if tracer.enabled:
+                        tracer.emit(IncumbentEvent(cost=cost))
+                    if options.on_incumbent is not None:
+                        options.on_incumbent(cost, dict(assignment))
+                    if instance.is_satisfaction:
+                        break
         stats.elapsed = time.monotonic() - start
+        stats.phase_times = self._timer.snapshot()
         if status is None:
             if best_assignment is None:
                 status = UNSATISFIABLE
             else:
                 status = SATISFIABLE if instance.is_satisfaction else OPTIMAL
+        if tracer.enabled:
+            tracer.emit(ResultEvent(status=status, cost=best_cost))
+            tracer.flush()
         return SolveResult(
             status,
             best_cost=best_cost,

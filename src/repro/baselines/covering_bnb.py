@@ -26,6 +26,14 @@ from ..core.result import (
 )
 from ..core.stats import SolverStats
 from ..mis.independent_set import MISBound
+from ..obs.events import (
+    IncumbentEvent,
+    LowerBoundEvent,
+    ResultEvent,
+    RunHeaderEvent,
+)
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 from ..pb.instance import PBInstance
 
 
@@ -57,13 +65,16 @@ class CoveringBnBSolver:
             raise ValueError("CoveringBnBSolver requires a clause-only instance")
         self._instance = instance
         self._options = merge_solver_options(options, time_limit=time_limit)
-        self._time_limit = self._options.time_limit
+        opts = self._options
+        self._time_limit = opts.time_limit
         self._max_nodes = (
-            max_nodes if max_nodes is not None else self._options.max_decisions
+            max_nodes if max_nodes is not None else opts.max_decisions
         )
+        self._tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if opts.profile else NULL_TIMER
         self.stats = SolverStats()
         self._costs = instance.objective.costs
-        self._mis = MISBound(instance)
+        self._mis = MISBound(instance, metrics=opts.metrics)
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
@@ -71,6 +82,15 @@ class CoveringBnBSolver:
         start = time.monotonic()
         deadline = start + self._time_limit if self._time_limit is not None else None
         instance = self._instance
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options={"strategy": "covering_bnb"},
+                )
+            )
 
         clauses: List[Set[int]] = [set(c.literals) for c in instance.constraints]
         occurrences: Dict[int, List[int]] = {}
@@ -193,15 +213,35 @@ class CoveringBnBSolver:
                     best = solution
                     external_cost = None
                     self.stats.solutions_found += 1
+                    if tracer.enabled:
+                        tracer.emit(
+                            IncumbentEvent(
+                                cost=cost + objective.offset,
+                                decisions=self.stats.decisions,
+                            )
+                        )
                     if options.on_incumbent is not None:
                         options.on_incumbent(
                             cost + objective.offset, dict(solution)
                         )
                     prune = True
                 else:
-                    bound = self._mis.compute(assignment)
+                    with self._timer.phase("lower_bound.mis"):
+                        bound = self._mis.compute(assignment)
                     self.stats.lower_bound_calls += 1
-                    if bound.infeasible or cost + bound.value >= upper:
+                    pruned = bound.infeasible or cost + bound.value >= upper
+                    if tracer.enabled:
+                        tracer.emit(
+                            LowerBoundEvent(
+                                method="mis",
+                                value=bound.value,
+                                path=cost,
+                                level=len(stack),
+                                infeasible=bound.infeasible,
+                                pruned=pruned,
+                            )
+                        )
+                    if pruned:
                         self.stats.prunings += 1
                         prune = True
 
@@ -239,12 +279,22 @@ class CoveringBnBSolver:
             else:
                 status = UNSATISFIABLE
         self.stats.elapsed = time.monotonic() - start
+        self.stats.phase_times = self._timer.snapshot()
         if best is not None:
             best_cost = upper + objective.offset
         else:
             best_cost = external_cost
         if status == SATISFIABLE:
             best_cost = objective.offset
+        if tracer.enabled:
+            tracer.emit(
+                ResultEvent(
+                    status=status,
+                    cost=best_cost,
+                    decisions=self.stats.decisions,
+                )
+            )
+            tracer.flush()
         return SolveResult(
             status,
             best_cost=best_cost,

@@ -31,6 +31,9 @@ from ..core.result import (
     UNSATISFIABLE,
 )
 from ..core.stats import SolverStats
+from ..obs.events import CutEvent, IncumbentEvent, ResultEvent, RunHeaderEvent
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 from ..pb.instance import PBInstance
 from .sat_search import STOPPED, UNSAT, DecisionSearch
 
@@ -40,30 +43,44 @@ from ..engine.pb_resolution import cardinality_reduction
 
 
 class CuttingPlanesSolver:
-    """Incremental linear search with cardinality strengthening."""
+    """Incremental linear search with cardinality strengthening.
+
+    Carries the same observability instruments as the other comparators
+    (``tracer``, ``profile``), so cross-solver traces and profiles are
+    recorded uniformly.
+    """
 
     name = "galena-like"
 
     def __init__(self, instance: PBInstance,
                  options: Optional[SolverOptions] = None, *,
                  time_limit: Optional[float] = None,
-                 max_conflicts: Optional[int] = None):
+                 max_conflicts: Optional[int] = None, tracer=None,
+                 profile: bool = False):
         self._instance = instance
         self._options = merge_solver_options(
-            options, time_limit=time_limit, max_conflicts=max_conflicts
+            options, time_limit=time_limit, max_conflicts=max_conflicts,
+            tracer=tracer, profile=profile,
         )
-        self._time_limit = self._options.time_limit
-        self._max_conflicts = self._options.max_conflicts
+        opts = self._options
+        self._time_limit = opts.time_limit
+        self._max_conflicts = opts.max_conflicts
+        self._tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if opts.profile else NULL_TIMER
         self.stats = SolverStats()
 
     def _add_bound_cuts(self, search: DecisionSearch, cut) -> None:
         """Install a knapsack cut plus its cardinality strengthening."""
         search.add_constraint(cut)
         self.stats.cuts_added += 1
+        if self._tracer.enabled:
+            self._tracer.emit(CutEvent(size=len(cut)))
         reduction = cardinality_reduction(cut)
         if reduction is not None:
             search.add_constraint(reduction)
             self.stats.cuts_added += 1
+            if self._tracer.enabled:
+                self._tracer.emit(CutEvent(size=len(reduction)))
 
     def solve(self) -> SolveResult:
         """Incremental linear search with cardinality strengthening."""
@@ -73,9 +90,19 @@ class CuttingPlanesSolver:
         objective = instance.objective
         options = self._options
         cut_generator = CutGenerator(instance, cardinality_cuts=False)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options={"strategy": "incremental_linear_search"},
+                )
+            )
 
         search = DecisionSearch(
             instance.num_variables, pb_learning=True,
+            tracer=tracer, timer=self._timer,
             propagation=options.propagation,
         )
         search.add_constraints(instance.constraints)
@@ -120,6 +147,14 @@ class CuttingPlanesSolver:
             best_cost = cost
             best_assignment = model
             external_cost = None
+            if tracer.enabled:
+                tracer.emit(
+                    IncumbentEvent(
+                        cost=cost + objective.offset,
+                        decisions=search.decisions,
+                        conflicts=search.conflicts,
+                    )
+                )
             if options.on_incumbent is not None:
                 options.on_incumbent(cost + objective.offset, dict(model))
             if objective.is_constant:
@@ -136,6 +171,7 @@ class CuttingPlanesSolver:
         self.stats.propagations = search.propagations
         self.stats.pb_resolvents = search.pb_resolvents
         self.stats.elapsed = time.monotonic() - start
+        self.stats.phase_times = self._timer.snapshot()
         if external_cost is not None:
             reported = external_cost
         elif best_cost is not None and (
@@ -146,6 +182,16 @@ class CuttingPlanesSolver:
             reported = None
         if status == SATISFIABLE:
             reported = objective.offset
+        if tracer.enabled:
+            tracer.emit(
+                ResultEvent(
+                    status=status,
+                    cost=reported,
+                    decisions=self.stats.decisions,
+                    conflicts=self.stats.conflicts,
+                )
+            )
+            tracer.flush()
         return SolveResult(
             status,
             best_cost=reported,

@@ -30,6 +30,9 @@ from ..core.stats import SolverStats
 from ..lp.simplex import INFEASIBLE, OPTIMAL as LP_OPTIMAL, SimplexSolver
 from ..lp.standard_form import build_lp_data
 from ..lp.tolerances import ROUND_EPS, ceil_guarded
+from ..obs.events import IncumbentEvent, ResultEvent, RunHeaderEvent
+from ..obs.timers import NULL_TIMER, PhaseTimer
+from ..obs.trace import NULL_TRACER
 from ..pb.instance import PBInstance
 
 _INT_TOL = ROUND_EPS
@@ -50,10 +53,13 @@ class MILPSolver:
     ):
         self._instance = instance
         self._options = merge_solver_options(options, time_limit=time_limit)
-        self._time_limit = self._options.time_limit
+        opts = self._options
+        self._time_limit = opts.time_limit
         self._max_nodes = (
-            max_nodes if max_nodes is not None else self._options.max_decisions
+            max_nodes if max_nodes is not None else opts.max_decisions
         )
+        self._tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        self._timer = PhaseTimer() if opts.profile else NULL_TIMER
         self.stats = SolverStats()
         self.nodes = 0
 
@@ -65,6 +71,15 @@ class MILPSolver:
         instance = self._instance
         objective = instance.objective
         options = self._options
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunHeaderEvent(
+                    solver=self.name,
+                    instance=getattr(tracer, "instance_label", ""),
+                    options={"strategy": "lp_branch_and_bound"},
+                )
+            )
 
         upper = objective.max_value + 1
         best_assignment: Optional[Dict[int, int]] = None
@@ -105,6 +120,13 @@ class MILPSolver:
                     best_assignment = self._complete(fixed)
                     external_cost = None
                     self.stats.solutions_found += 1
+                    if tracer.enabled:
+                        tracer.emit(
+                            IncumbentEvent(
+                                cost=cost + objective.offset,
+                                decisions=self.nodes,
+                            )
+                        )
                     if options.on_incumbent is not None:
                         options.on_incumbent(
                             cost + objective.offset, dict(best_assignment)
@@ -112,10 +134,11 @@ class MILPSolver:
                     if objective.is_constant:
                         break  # feasibility problem: first model suffices
                 continue
-            result = SimplexSolver(
-                data.c, data.A, data.b, data.senses,
-                upper=[1.0] * data.num_columns,
-            ).solve()
+            with self._timer.phase("lp"):
+                result = SimplexSolver(
+                    data.c, data.A, data.b, data.senses,
+                    upper=[1.0] * data.num_columns,
+                ).solve()
             self.stats.lower_bound_calls += 1
             if result.status == INFEASIBLE:
                 continue
@@ -140,6 +163,13 @@ class MILPSolver:
                         best_assignment = assignment
                         external_cost = None
                         self.stats.solutions_found += 1
+                        if tracer.enabled:
+                            tracer.emit(
+                                IncumbentEvent(
+                                    cost=cost + objective.offset,
+                                    decisions=self.nodes,
+                                )
+                            )
                         if options.on_incumbent is not None:
                             options.on_incumbent(
                                 cost + objective.offset, dict(assignment)
@@ -164,10 +194,18 @@ class MILPSolver:
                 status = SATISFIABLE
         self.stats.decisions = self.nodes
         self.stats.elapsed = time.monotonic() - start
+        self.stats.phase_times = self._timer.snapshot()
         if best_assignment is not None:
             best_cost = upper + objective.offset
         else:
             best_cost = external_cost
+        if tracer.enabled:
+            tracer.emit(
+                ResultEvent(
+                    status=status, cost=best_cost, decisions=self.nodes
+                )
+            )
+            tracer.flush()
         return SolveResult(
             status,
             best_cost=best_cost,

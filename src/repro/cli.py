@@ -155,6 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
             "'python -m repro certify INSTANCE FILE.pbp'"
         ),
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help=(
+            "collect solver metrics (counters/gauges/histograms) and "
+            "write the text exposition to FILE ('-' for stdout as "
+            "c-prefixed lines); with --portfolio the workers' snapshots "
+            "are merged"
+        ),
+    )
+    parser.add_argument(
+        "--hotspot",
+        metavar="FILE",
+        default=None,
+        help=(
+            "profile the solve with the per-phase hotspot profiler, "
+            "write collapsed stacks (flamegraph input) to FILE and print "
+            "the top self-time table (single-solver runs only)"
+        ),
+    )
     return parser
 
 
@@ -195,10 +216,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--progress-interval must be >= 1")
     if args.portfolio is not None and args.portfolio < 1:
         parser.error("--portfolio must be >= 1")
-    if args.portfolio is not None and args.trace:
+    if args.portfolio is not None and args.hotspot:
         parser.error(
-            "--trace is not supported with --portfolio (trace sinks cannot "
-            "cross the worker process boundary)"
+            "--hotspot is not supported with --portfolio (the profiler "
+            "cannot cross the worker process boundary)"
         )
     if args.proof and args.portfolio is not None:
         parser.error(
@@ -212,13 +233,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     instance = parse_file(args.instance)
 
+    registry = None
+    if args.metrics:
+        from .obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    hotspot = None
+
     if args.portfolio is not None:
         import time as _time
 
         from .portfolio import PortfolioSolver
 
         solver = PortfolioSolver(
-            instance, workers=args.portfolio, time_limit=args.time_limit
+            instance, workers=args.portfolio, time_limit=args.time_limit,
+            trace_path=args.trace, metrics=registry,
         )
         started = _time.monotonic()
         result = solver.solve()
@@ -227,6 +256,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("c portfolio workers=%d winner=%s incumbents_shared=%d failures=%d"
               % (args.portfolio, result.stats.winner,
                  result.stats.incumbents_shared, result.stats.failures))
+        if args.trace:
+            print("c trace merged=%s (per-worker: %s.w<id>); inspect with "
+                  "'python -m repro obs report %s'"
+                  % (args.trace, args.trace, args.trace))
     else:
         tracer = None
         if args.trace:
@@ -243,6 +276,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 proof_logger = ProofLogger(args.proof)
             except OSError as exc:
                 parser.error("cannot open --proof file: %s" % exc)
+        if args.hotspot:
+            from .obs.prof import HotspotProfiler
+
+            hotspot = HotspotProfiler()
         try:
             record = run_one(
                 args.solver,
@@ -250,13 +287,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.instance,
                 args.time_limit,
                 tracer=tracer,
-                profile=args.profile,
+                profile=args.profile or bool(args.hotspot),
                 on_progress=_print_progress if args.progress else None,
                 progress_interval=args.progress_interval,
                 propagation=args.propagation,
                 lb_schedule=args.lb_schedule,
                 incremental_bounds=not args.cold_bounds,
                 proof=proof_logger,
+                metrics=registry,
+                hotspot=hotspot,
             )
         finally:
             if tracer is not None:
@@ -283,10 +322,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("v " + " ".join(literals))
     print("c time %.3fs" % seconds)
     if args.profile:
+        counters = {
+            "uncertified_prunes": getattr(
+                result.stats, "uncertified_prunes", 0
+            ),
+        }
         for line in format_profile(
-            result.stats.phase_times, result.stats.elapsed
+            result.stats.phase_times, result.stats.elapsed, counters=counters
         ).splitlines():
             print("c " + line)
+    if hotspot is not None:
+        from .obs.prof import format_hotspots
+
+        try:
+            with open(args.hotspot, "w") as sink:
+                hotspot.write_collapsed(sink)
+        except OSError as exc:
+            print("c hotspot write failed: %s" % exc, file=sys.stderr)
+        else:
+            print("c hotspot collapsed stacks written to %s" % args.hotspot)
+        for line in format_hotspots(hotspot).splitlines():
+            print("c " + line)
+    if registry is not None:
+        text = registry.render_text()
+        if args.metrics == "-":
+            for line in text.splitlines():
+                print("c " + line)
+        else:
+            try:
+                with open(args.metrics, "w") as sink:
+                    sink.write(text)
+            except OSError as exc:
+                print("c metrics write failed: %s" % exc, file=sys.stderr)
+            else:
+                print("c metrics written to %s" % args.metrics)
     if args.stats:
         _print_stats(result.stats.as_dict())
     if args.stats_json:
@@ -355,6 +424,63 @@ def certify_main(argv: Optional[List[str]] = None) -> int:
         if outcome.conditional:
             print("c conditional yes (proof contains assumption steps)")
     return 0 if outcome.certified else 1
+
+
+def obs_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro obs {merge,report} ...``.
+
+    ``merge OUT IN [IN ...]`` merges per-worker JSONL traces into one
+    worker-tagged, clock-aligned timeline (what ``--portfolio --trace``
+    does automatically).  ``report TRACE`` prints a human summary: the
+    per-worker table with phase totals and the straggler line for merged
+    timelines, the progress/summary view for single-solver traces.
+    """
+    from .obs.merge import format_worker_report, merge_trace_files
+    from .obs.report import format_progress, trace_summary
+    from .obs.trace import read_trace
+
+    parser = argparse.ArgumentParser(
+        prog="bsolo obs",
+        description="Inspect and merge JSONL search traces",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    merge_parser = commands.add_parser(
+        "merge", help="merge per-worker traces into one timeline"
+    )
+    merge_parser.add_argument("output", help="merged timeline to write")
+    merge_parser.add_argument(
+        "inputs", nargs="+",
+        help="per-worker trace files (worker ids follow argument order)",
+    )
+    report_parser = commands.add_parser(
+        "report", help="summarise a trace (merged or single-solver)"
+    )
+    report_parser.add_argument("trace", help="JSONL trace file to summarise")
+    args = parser.parse_args(argv)
+
+    if args.command == "merge":
+        try:
+            count = merge_trace_files(args.output, args.inputs)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        print("merged %d records from %d traces into %s"
+              % (count, len(args.inputs), args.output))
+        return 0
+
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    if any("worker_id" in record for record in records):
+        print(format_worker_report(records))
+    else:
+        summary = trace_summary(records)
+        for key, value in sorted(summary.items()):
+            print("%s: %s" % (key, value))
+        progress = format_progress(records)
+        if progress:
+            print(progress)
+    return 0
 
 
 if __name__ == "__main__":

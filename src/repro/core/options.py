@@ -59,6 +59,8 @@ class SolverOptions:
         max_learned: Optional[int] = 20000,
         tracer=None,
         profile: bool = False,
+        metrics=None,
+        hotspot=None,
         on_progress=None,
         progress_interval: int = 1000,
         on_incumbent=None,
@@ -162,6 +164,15 @@ class SolverOptions:
         self.tracer = tracer
         #: Collect per-phase wall times into ``stats.phase_times``.
         self.profile = profile
+        #: Metrics registry (:class:`repro.obs.metrics.MetricsRegistry`);
+        #: None = no metrics, with zero per-update overhead (the solver
+        #: resolves instruments once and guards hot paths on a cached
+        #: enabled flag — the null-tracer discipline).
+        self.metrics = metrics
+        #: Hotspot profiler (:class:`repro.obs.prof.HotspotProfiler`);
+        #: when set the solver runs it around the solve, scoping samples
+        #: to the phase timer's phases (forces ``profile`` accounting).
+        self.hotspot = hotspot
         #: Periodic callback ``(stats, best, lower) -> None`` fired every
         #: ``progress_interval`` conflicts; ``best`` is the incumbent cost
         #: (offset included, None before the first solution) and ``lower``
@@ -238,6 +249,8 @@ class SolverOptions:
         kwargs.update(
             on_new_solution=self.on_new_solution,
             tracer=self.tracer,
+            metrics=self.metrics,
+            hotspot=self.hotspot,
             on_progress=self.on_progress,
             on_incumbent=self.on_incumbent,
             external_bound=self.external_bound,

@@ -84,11 +84,28 @@ class BsoloSolver:
 
         tracer = self._options.tracer
         self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._timer = PhaseTimer() if self._options.profile else NULL_TIMER
+        metrics = self._options.metrics
+        self._metrics = (
+            metrics if (metrics is not None and metrics.enabled) else None
+        )
+        self._m_enabled = self._metrics is not None
+        #: Opt-in hotspot profiler; forces phase accounting on so its
+        #: samples can be scoped to solver phases.
+        self._hotspot = self._options.hotspot
+        if self._options.profile or self._hotspot is not None:
+            listener = (
+                self._hotspot.phase_listener if self._hotspot is not None else None
+            )
+            self._timer = PhaseTimer(listener=listener)
+        else:
+            self._timer = NULL_TIMER
+        if self._m_enabled:
+            self._bind_metrics()
         self._propagator = make_engine(
             self._options.propagation,
             instance.num_variables,
             tracer=self._tracer if self._tracer.enabled else None,
+            metrics=self._metrics,
         )
         self._activity = VSIDSActivity(
             instance.num_variables, decay=self._options.vsids_decay
@@ -147,23 +164,61 @@ class BsoloSolver:
         self._next_progress = self._options.progress_interval
 
     # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        """Resolve metric instruments once, at construction time.
+
+        Hot paths only touch the cached children behind the
+        ``self._m_enabled`` guard — the same zero-cost-when-disabled
+        discipline as the null tracer.
+        """
+        m = self._metrics
+        conflicts = m.counter(
+            "solver_conflicts", "Conflicts by type", labels=("type",)
+        )
+        self._m_conflicts_logic = conflicts.labels(type="logic")
+        self._m_conflicts_bound = conflicts.labels(type="bound")
+        self._m_decisions = m.counter(
+            "solver_decisions", "Branching decisions"
+        )
+        self._m_cuts = m.counter(
+            "solver_cuts", "Cutting constraints added (Section 5)"
+        )
+        self._m_prunings = m.counter(
+            "solver_prunings", "Nodes pruned by the lower bound"
+        )
+        self._m_uncertified = m.counter(
+            "solver_uncertified_prunes",
+            "Prunes declined because no certificate could be logged",
+        )
+        self._m_incumbents = m.counter(
+            "solver_incumbents", "Improving solutions found"
+        )
+        self._m_restarts = m.counter("solver_restarts", "Restarts performed")
+        self._m_lb_seconds = m.histogram(
+            "solver_lower_bound_seconds",
+            "Wall time of one lower-bound estimation",
+            labels=("method",),
+        )
+
+    # ------------------------------------------------------------------
     def _make_bounder(self):
         method = self._options.lower_bound
         if method == PLAIN or self._objective.is_constant:
             return None
         if method == MIS:
-            return MISBound(self._instance)
+            return MISBound(self._instance, metrics=self._metrics)
         if method == LGR:
             return LagrangianBound(
                 self._instance,
                 SubgradientOptions(max_iterations=self._options.lgr_iterations),
             )
         if method == HYBRID:
-            self._prefilter = MISBound(self._instance)
+            self._prefilter = MISBound(self._instance, metrics=self._metrics)
         return LPRelaxationBound(
             self._instance,
             max_iterations=self._options.lp_max_iterations,
             warm=self._options.incremental_bounds,
+            metrics=self._metrics,
         )
 
     # ------------------------------------------------------------------
@@ -190,10 +245,14 @@ class BsoloSolver:
                     options=self._options.describe(),
                 )
             )
+        if self._hotspot is not None:
+            self._hotspot.start()
         try:
             result = self._search()
             self._finalize_proof(result)
         finally:
+            if self._hotspot is not None:
+                self._hotspot.stop()
             self.stats.elapsed = time.monotonic() - start
             self.stats.phase_times = self._timer.snapshot()
             self._collect_lb_stats()
@@ -361,6 +420,8 @@ class BsoloSolver:
             if conflict is not None:
                 self.stats.logic_conflicts += 1
                 self.stats.propagations = propagator.num_propagations
+                if self._m_enabled:
+                    self._m_conflicts_logic.inc()
                 if tracer.enabled:
                     tracer.emit(
                         ConflictEvent(
@@ -383,6 +444,8 @@ class BsoloSolver:
                     and propagator.trail.decision_level > 0
                 ):
                     self.stats.restarts += 1
+                    if self._m_enabled:
+                        self._m_restarts.inc()
                     if tracer.enabled:
                         tracer.emit(RestartEvent(conflicts=self.stats.conflicts))
                     propagator.backtrack(0)
@@ -397,11 +460,14 @@ class BsoloSolver:
             if self._bounder is not None and self._should_bound():
                 bound_start = time.monotonic()
                 pruned, exhausted = self._apply_lower_bound()
+                bound_seconds = time.monotonic() - bound_start
                 self._schedule.record(
-                    pruned,
-                    time.monotonic() - bound_start,
-                    self._last_bound_method,
+                    pruned, bound_seconds, self._last_bound_method
                 )
+                if self._m_enabled:
+                    self._m_lb_seconds.labels(
+                        method=self._last_bound_method
+                    ).observe(bound_seconds)
                 if pruned:
                     self._maybe_progress()
                 if exhausted:
@@ -417,6 +483,8 @@ class BsoloSolver:
             if literal is None:  # pragma: no cover - all_assigned handles this
                 return self._finish()
             self.stats.decisions += 1
+            if self._m_enabled:
+                self._m_decisions.inc()
             if (
                 self._options.max_decisions is not None
                 and self.stats.decisions > self._options.max_decisions
@@ -467,6 +535,8 @@ class BsoloSolver:
             for cut in cuts:
                 conflict = self._propagator.add_constraint(cut)
                 self.stats.cuts_added += 1
+                if self._m_enabled:
+                    self._m_cuts.inc()
                 if self._tracer.enabled:
                     self._tracer.emit(CutEvent(size=len(cut)))
                 if conflict is not None and not self._resolve(
@@ -528,8 +598,12 @@ class BsoloSolver:
             )
             if not self._certify_infeasibility(clause):
                 self.stats.uncertified_prunes += 1
+                if self._m_enabled:
+                    self._m_uncertified.inc()
                 return False, False
             self.stats.bound_conflicts += 1
+            if self._m_enabled:
+                self._m_conflicts_bound.inc()
             if tracer.enabled:
                 tracer.emit(
                     LowerBoundEvent(
@@ -589,9 +663,14 @@ class BsoloSolver:
                 )
             if not self._certify_bound_clause(bound_clause, bound, clause):
                 self.stats.uncertified_prunes += 1
+                if self._m_enabled:
+                    self._m_uncertified.inc()
                 return False, False
             self.stats.bound_conflicts += 1
             self.stats.prunings += 1
+            if self._m_enabled:
+                self._m_conflicts_bound.inc()
+                self._m_prunings.inc()
             if tracer.enabled:
                 tracer.emit(
                     ConflictEvent(type="bound", level=trail.decision_level)
@@ -617,16 +696,19 @@ class BsoloSolver:
         if proof is None:
             return True
         trail = self._propagator.trail
-        for constraint in list(self._instance.constraints) + self._cut_constraints:
-            supply = sum(
-                coef
-                for coef, lit in constraint.terms
-                if not trail.literal_is_false(lit)
-            )
-            if supply < constraint.rhs and proof.log_infeasibility(
-                clause, constraint
+        with self._timer.phase("proof"):
+            for constraint in (
+                list(self._instance.constraints) + self._cut_constraints
             ):
-                return True
+                supply = sum(
+                    coef
+                    for coef, lit in constraint.terms
+                    if not trail.literal_is_false(lit)
+                )
+                if supply < constraint.rhs and proof.log_infeasibility(
+                    clause, constraint
+                ):
+                    return True
         return False
 
     def _certify_bound_clause(
@@ -642,24 +724,25 @@ class BsoloSolver:
         proof = self._proof
         if proof is None:
             return True
-        if self._last_bound_method == "mis":
-            trail = self._propagator.trail
-            path_vars = [
-                var
-                for var, cost in self._objective.costs.items()
-                if cost > 0 and trail.value(var) == 1
-            ]
-            logged = proof.log_bound_mis(
-                bound_clause, path_vars, bound.explanation
-            )
-        else:
-            logged = proof.log_bound_linear(
-                bound_clause, list(bound.duals_by_row.items())
-            )
-        if not logged:
-            return False
-        if tuple(clause) != tuple(bound_clause):
-            proof.log_rup(clause)
+        with self._timer.phase("proof"):
+            if self._last_bound_method == "mis":
+                trail = self._propagator.trail
+                path_vars = [
+                    var
+                    for var, cost in self._objective.costs.items()
+                    if cost > 0 and trail.value(var) == 1
+                ]
+                logged = proof.log_bound_mis(
+                    bound_clause, path_vars, bound.explanation
+                )
+            else:
+                logged = proof.log_bound_linear(
+                    bound_clause, list(bound.duals_by_row.items())
+                )
+            if not logged:
+                return False
+            if tuple(clause) != tuple(bound_clause):
+                proof.log_rup(clause)
         return True
 
     def _compute_bound(self, fixed: Dict[int, int], path: int) -> LowerBound:
@@ -721,6 +804,8 @@ class BsoloSolver:
             self._best_assignment = dict(assignment)
             self._upper = cost
             reported = cost + self._objective.offset
+            if self._m_enabled:
+                self._m_incumbents.inc()
             logger.debug("new incumbent: cost %d", reported)
             if self._tracer.enabled:
                 self._tracer.emit(
@@ -759,6 +844,8 @@ class BsoloSolver:
                 if proof is None or proof.log_proven_cut(proven_source):
                     return self._finish()
                 self.stats.uncertified_prunes += 1
+                if self._m_enabled:
+                    self._m_uncertified.inc()
             # The knapsack cut (eq. 10) IS the improvement axiom the 'o'
             # step derived, so it needs no proof step of its own.
             cuts = [] if knapsack is None else [knapsack]
@@ -771,6 +858,8 @@ class BsoloSolver:
             for cut in cuts:
                 self._propagator.add_constraint(cut)
                 self.stats.cuts_added += 1
+                if self._m_enabled:
+                    self._m_cuts.inc()
                 if self._tracer.enabled:
                     self._tracer.emit(CutEvent(size=len(cut)))
             # For the relaxations, each new solution's cuts dominate the
@@ -842,7 +931,8 @@ class BsoloSolver:
             # First-UIP clauses are RUP against the proof database: the
             # checker's propagation has the same strength as the engine's
             # and every constraint the analysis touched is in the log.
-            proof.log_rup(analysis.learned_literals)
+            with self._timer.phase("proof"):
+                proof.log_rup(analysis.learned_literals)
         conflict = self._propagator.add_constraint(learned, learned=True)
         self.stats.learned_constraints += 1
         if conflict is not None:  # pragma: no cover - learned clause asserts
@@ -851,13 +941,14 @@ class BsoloSolver:
             self._propagator.imply(
                 analysis.asserting_literal, analysis.learned_literals
             )
-        if (
-            resolvent is not None
-            and proof is not None
-            and not proof.log_resolvent(
-                conflict_constraint, resolution_trace, resolvent
-            )
-        ):
+        if resolvent is not None and proof is not None:
+            with self._timer.phase("proof"):
+                logged_resolvent = proof.log_resolvent(
+                    conflict_constraint, resolution_trace, resolvent
+                )
+        else:
+            logged_resolvent = True
+        if resolvent is not None and proof is not None and not logged_resolvent:
             # The checker-side replay disagreed with the engine's
             # derivation: drop the resolvent instead of learning an
             # unprovable constraint (the clausal learner above suffices).
@@ -917,17 +1008,18 @@ class BsoloSolver:
         proof = self._proof
         if proof is None:
             return
-        if result.status == OPTIMAL:
-            proof.log_contradiction()
-            proof.log_end("optimal", result.best_cost)
-        elif result.status == SATISFIABLE:
-            proof.log_end("satisfiable", result.best_cost)
-        elif result.status == UNSATISFIABLE:
-            proof.log_contradiction()
-            proof.log_end("unsatisfiable")
-        else:
-            proof.log_end("unknown")
-        proof.close()
+        with self._timer.phase("proof"):
+            if result.status == OPTIMAL:
+                proof.log_contradiction()
+                proof.log_end("optimal", result.best_cost)
+            elif result.status == SATISFIABLE:
+                proof.log_end("satisfiable", result.best_cost)
+            elif result.status == UNSATISFIABLE:
+                proof.log_contradiction()
+                proof.log_end("unsatisfiable")
+            else:
+                proof.log_end("unknown")
+            proof.close()
 
     def _finish(self) -> SolveResult:
         if self._best_assignment is not None:

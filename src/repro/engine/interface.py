@@ -92,12 +92,26 @@ class PropagationEngine(ABC):
     #: Registry name of the backend (set by subclasses).
     name = "abstract"
 
-    def __init__(self, num_variables: int, tracer=None):
+    def __init__(self, num_variables: int, tracer=None, metrics=None):
         self.trail = Trail(num_variables)
         self.num_propagations = 0
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._metrics = metrics if (metrics is not None and metrics.enabled) else None
         self._batch_mark = 0
-        if self._tracer is None:
+        if self._metrics is not None:
+            # Resolve instruments once; the propagate wrapper only calls
+            # .inc() on the hot path.
+            self._m_propagations = self._metrics.counter(
+                "engine_propagations",
+                "Implications discovered by BCP",
+                labels=("backend",),
+            ).labels(backend=self.name)
+            self._m_propagate_calls = self._metrics.counter(
+                "engine_propagate_calls",
+                "Calls to the propagation fixed-point loop",
+                labels=("backend",),
+            ).labels(backend=self.name)
+        if self._tracer is None and self._metrics is None:
             # Skip the batch-accounting wrapper entirely on the null path.
             self.propagate = self._propagate_loop  # type: ignore[method-assign]
         # var -> the PB constraint that implied it (for cutting-plane
@@ -183,12 +197,12 @@ class PropagationEngine(ABC):
 
         Returns the first conflict discovered, or ``None``.
         """
-        if self._tracer is None:
+        if self._tracer is None and self._metrics is None:
             return self._propagate_loop()
         conflict = self._propagate_loop()
         delta = self.num_propagations - self._batch_mark
         self._batch_mark = self.num_propagations
-        if delta or conflict is not None:
+        if self._tracer is not None and (delta or conflict is not None):
             self._tracer.emit(
                 PropagationEvent(
                     count=delta,
@@ -196,6 +210,10 @@ class PropagationEngine(ABC):
                     conflict=conflict is not None,
                 )
             )
+        if self._metrics is not None:
+            self._m_propagate_calls.inc()
+            if delta:
+                self._m_propagations.inc(delta)
         return conflict
 
     # ------------------------------------------------------------------
@@ -278,7 +296,10 @@ def register_engine(
 ) -> None:
     """Register ``factory(num_variables, tracer=None) -> engine`` under
     ``name``.  Re-registering a name replaces it (tests use this to
-    inject instrumented engines)."""
+    inject instrumented engines).  Factories that also accept a
+    ``metrics`` keyword get it forwarded when the caller supplies one;
+    older two-argument factories keep working as long as nobody asks
+    them for metrics."""
     _ENGINES[name] = (factory, description)
 
 
@@ -293,9 +314,13 @@ def engine_descriptions() -> Dict[str, str]:
 
 
 def make_engine(
-    name: str, num_variables: int, tracer=None
+    name: str, num_variables: int, tracer=None, metrics=None
 ) -> PropagationEngine:
-    """Instantiate a registered propagation backend."""
+    """Instantiate a registered propagation backend.
+
+    ``metrics`` is forwarded only when set, so third-party factories
+    registered before the metrics layer existed keep working.
+    """
     try:
         factory = _ENGINES[name][0]
     except KeyError:
@@ -303,4 +328,6 @@ def make_engine(
             "unknown propagation engine %r (choose from %s)"
             % (name, ", ".join(available_engines()))
         ) from None
+    if metrics is not None:
+        return factory(num_variables, tracer=tracer, metrics=metrics)
     return factory(num_variables, tracer=tracer)

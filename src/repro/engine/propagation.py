@@ -55,8 +55,8 @@ class Propagator(PropagationEngine):
 
     name = "counter"
 
-    def __init__(self, num_variables: int, tracer=None):
-        super().__init__(num_variables, tracer=tracer)
+    def __init__(self, num_variables: int, tracer=None, metrics=None):
+        super().__init__(num_variables, tracer=tracer, metrics=metrics)
         self.database = ConstraintDatabase(self.trail)
         self._pending: Deque[StoredConstraint] = deque()
 

@@ -65,8 +65,8 @@ class WatchedPropagator(PropagationEngine):
 
     name = "watched"
 
-    def __init__(self, num_variables: int, tracer=None):
-        super().__init__(num_variables, tracer=tracer)
+    def __init__(self, num_variables: int, tracer=None, metrics=None):
+        super().__init__(num_variables, tracer=tracer, metrics=metrics)
         self.database = WatchedConstraintDatabase(self.trail)
         #: Newly added constraints awaiting one exact implication scan.
         self._pending: Deque[StoredConstraint] = deque()

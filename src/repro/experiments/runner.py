@@ -44,6 +44,8 @@ def make_solver(
     lb_schedule: str = "static",
     incremental_bounds: bool = True,
     proof=None,
+    metrics=None,
+    hotspot=None,
 ):
     """Instantiate a registered solver for one instance.
 
@@ -52,8 +54,9 @@ def make_solver(
     registry aliases).  Beyond the Table 1 columns, every registered
     solver — ``bsolo-hybrid``, ``covering-bnb``, ``portfolio``, … — is
     available.  The observability hooks (``tracer``, ``profile``,
-    ``on_progress``) and the ``propagation`` backend name are honoured
-    by the solvers that support them and ignored by the rest.
+    ``on_progress``, ``metrics``, ``hotspot``) and the ``propagation``
+    backend name are honoured by the solvers that support them and
+    ignored by the rest.
     """
     options = SolverOptions(
         time_limit=time_limit,
@@ -65,6 +68,8 @@ def make_solver(
         lb_schedule=lb_schedule,
         incremental_bounds=incremental_bounds,
         proof=proof,
+        metrics=metrics,
+        hotspot=hotspot,
     )
     return _registry_make_solver(instance, name, options)
 
@@ -124,12 +129,17 @@ def run_one(
     lb_schedule: str = "static",
     incremental_bounds: bool = True,
     proof=None,
+    metrics=None,
+    hotspot=None,
 ) -> RunRecord:
     """Run one solver on one instance with a wall-clock budget.
 
     ``proof`` is an optional :class:`repro.certify.ProofLogger`; only
     the bsolo solvers honour it (they record a checkable derivation of
-    the answer — see ``docs/PROOFS.md``).
+    the answer — see ``docs/PROOFS.md``).  ``metrics`` is an optional
+    :class:`repro.obs.metrics.MetricsRegistry`, ``hotspot`` an optional
+    :class:`repro.obs.prof.HotspotProfiler`; both are live-updated by
+    the solvers that support them.
     """
     solver = make_solver(
         solver_name,
@@ -143,6 +153,8 @@ def run_one(
         lb_schedule=lb_schedule,
         incremental_bounds=incremental_bounds,
         proof=proof,
+        metrics=metrics,
+        hotspot=hotspot,
     )
     start = time.monotonic()
     result = solver.solve()

@@ -117,6 +117,7 @@ class LPRelaxationBound:
         max_iterations: int = 20000,
         tight_tol: float = TIGHT_TOL,
         warm: bool = True,
+        metrics=None,
     ):
         self._instance = instance
         self._max_iterations = max_iterations
@@ -132,6 +133,14 @@ class LPRelaxationBound:
         self.warm_calls = 0
         self.cold_calls = 0
         self.warm_fallbacks = 0
+        # Metrics (optional): pivot counter resolved once, fed with the
+        # per-call iteration delta after each compute.
+        live = metrics if (metrics is not None and metrics.enabled) else None
+        self._m_pivots = (
+            live.counter("lp_pivots", "Simplex pivots performed by the LP bounder")
+            if live is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     def attach_trail(self, trail) -> None:
@@ -163,10 +172,15 @@ class LPRelaxationBound:
         cuts in the relaxation (Section 5) without mutating the instance.
         """
         started = time.perf_counter()
+        iterations_before = self.total_iterations
         try:
             return self._compute(fixed, extra_constraints)
         finally:
             self.total_seconds += time.perf_counter() - started
+            if self._m_pivots is not None:
+                delta = self.total_iterations - iterations_before
+                if delta:
+                    self._m_pivots.inc(delta)
 
     def _compute(
         self,

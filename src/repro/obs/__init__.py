@@ -1,14 +1,21 @@
-"""Observability: search-event tracing, phase timers, profile reports.
+"""Observability: tracing, metrics, phase timers, profiling, reports.
 
 The measurement layer every performance claim is judged against:
 
 * :mod:`repro.obs.events` — typed search-event records (decision,
   propagation batch, logic/bound conflict, backjump, restart, lower
-  bound call, incumbent update, cut, progress, result);
+  bound call, incumbent update, cut, progress, result, worker summary);
 * :mod:`repro.obs.trace` — the no-op :data:`NULL_TRACER` (zero overhead
-  when disabled) and the buffered :class:`JsonlTracer` sink;
+  when disabled) and the crash-safe buffered :class:`JsonlTracer` sink;
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram families in a
+  :class:`MetricsRegistry` with deterministic exposition and
+  cross-process snapshot merging (:data:`NULL_METRICS` when off);
 * :mod:`repro.obs.timers` — :class:`PhaseTimer` with exclusive-time
   accounting per search phase;
+* :mod:`repro.obs.prof` — the opt-in :class:`HotspotProfiler`
+  (phase-scoped collapsed stacks + self-time tables);
+* :mod:`repro.obs.merge` — portfolio worker-trace merging onto one
+  aligned timeline, plus the per-worker/straggler reports;
 * :mod:`repro.obs.report` — profile tables and gap-vs-time summaries.
 
 Typical use::
@@ -34,6 +41,7 @@ from .events import (
     RESTART,
     RESULT,
     RUN_HEADER,
+    WORKER_SUMMARY,
     BackjumpEvent,
     ConflictEvent,
     CutEvent,
@@ -46,8 +54,29 @@ from .events import (
     RestartEvent,
     ResultEvent,
     RunHeaderEvent,
+    WorkerSummaryEvent,
     event_from_record,
 )
+from .merge import (
+    format_worker_report,
+    merge_trace_files,
+    merge_traces,
+    straggler_summary,
+    worker_spans,
+    write_records,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from .prof import HotspotProfiler, format_hotspots
 from .report import format_profile, format_progress, gap_history, trace_summary
 from .timers import NULL_TIMER, NullPhaseTimer, PhaseTimer
 from .trace import NULL_TRACER, JsonlTracer, NullTracer, Tracer, read_trace
@@ -57,10 +86,12 @@ __all__ = [
     "CONFLICT",
     "CUT",
     "DECISION",
+    "DEFAULT_BUCKETS",
     "EVENT_KINDS",
     "EVENT_TYPES",
     "INCUMBENT",
     "LOWER_BOUND",
+    "NULL_METRICS",
     "NULL_TIMER",
     "NULL_TRACER",
     "PROGRESS",
@@ -68,14 +99,21 @@ __all__ = [
     "RESTART",
     "RESULT",
     "RUN_HEADER",
+    "WORKER_SUMMARY",
     "BackjumpEvent",
     "ConflictEvent",
+    "Counter",
     "CutEvent",
     "DecisionEvent",
     "Event",
+    "Gauge",
+    "Histogram",
+    "HotspotProfiler",
     "IncumbentEvent",
     "JsonlTracer",
     "LowerBoundEvent",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
     "NullPhaseTimer",
     "NullTracer",
     "PhaseTimer",
@@ -85,10 +123,20 @@ __all__ = [
     "ResultEvent",
     "RunHeaderEvent",
     "Tracer",
+    "WorkerSummaryEvent",
+    "default_registry",
     "event_from_record",
+    "format_hotspots",
     "format_profile",
     "format_progress",
+    "format_worker_report",
     "gap_history",
+    "merge_trace_files",
+    "merge_traces",
     "read_trace",
+    "set_default_registry",
+    "straggler_summary",
     "trace_summary",
+    "worker_spans",
+    "write_records",
 ]

@@ -30,6 +30,7 @@ INCUMBENT = "incumbent"
 CUT = "cut"
 PROGRESS = "progress"
 RESULT = "result"
+WORKER_SUMMARY = "worker_summary"
 
 EVENT_KINDS = (
     RUN_HEADER,
@@ -43,6 +44,7 @@ EVENT_KINDS = (
     CUT,
     PROGRESS,
     RESULT,
+    WORKER_SUMMARY,
 )
 
 
@@ -168,6 +170,26 @@ class ResultEvent(Event):
     conflicts: int = 0
 
 
+@dataclass
+class WorkerSummaryEvent(Event):
+    """Synthesized by the portfolio trace merger: one worker's outcome.
+
+    Merged timelines append one of these per worker so ``obs report``
+    can render per-worker phase totals and the straggler summary without
+    re-deriving them from the raw event stream.
+    """
+
+    kind: ClassVar[str] = WORKER_SUMMARY
+    worker_id: int = 0
+    label: str = ""
+    solver: str = ""
+    status: str = ""
+    cost: Optional[int] = None
+    elapsed: float = 0.0
+    events: int = 0
+    phase_times: Dict[str, float] = field(default_factory=dict)
+
+
 #: kind tag -> event class, for re-hydrating parsed trace records.
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -183,6 +205,7 @@ EVENT_TYPES: Dict[str, type] = {
         CutEvent,
         ProgressEvent,
         ResultEvent,
+        WorkerSummaryEvent,
     )
 }
 

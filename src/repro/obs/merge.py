@@ -1,0 +1,244 @@
+"""Merging per-worker portfolio traces into one fleet timeline.
+
+Every portfolio worker writes its own :class:`~repro.obs.trace.JsonlTracer`
+file with timestamps relative to *its* first event.  To see the fleet as
+one timeline the coordinator (or the ``python -m repro obs merge`` CLI)
+aligns the clocks and interleaves the events:
+
+* each worker trace's first record carries ``epoch`` — the wall-clock
+  time of its first event (stamped by the tracer);
+* the earliest epoch across workers becomes the merged timeline's zero;
+  every record's ``t`` is shifted by its worker's offset from that zero;
+* every merged record gains a ``worker_id`` field;
+* one synthesized ``worker_summary`` record per worker (outcome, phase
+  totals, event count) is appended so reports need not re-derive them.
+
+Workers whose trace lacks an epoch (hand-written fixtures, pre-epoch
+traces) merge with offset 0 — ordering within the worker is preserved,
+cross-worker alignment degrades gracefully.
+
+:func:`worker_spans` and :func:`format_worker_report` turn a merged
+timeline back into the per-worker phase totals and the straggler
+summary rendered by ``python -m repro obs report``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import RESULT, RUN_HEADER, WORKER_SUMMARY
+from .report import _align
+from .trace import read_trace
+
+
+def merge_traces(
+    traces: Sequence[Tuple[int, Sequence[Mapping[str, Any]]]],
+    summaries: Optional[Mapping[int, Mapping[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Merge per-worker record lists into one aligned timeline.
+
+    ``traces`` is ``[(worker_id, records), ...]``; ``summaries``
+    optionally maps worker ids to summary payloads (label, solver,
+    status, cost, elapsed, phase_times) used to synthesize the
+    ``worker_summary`` records — workers without an entry get a summary
+    derived from their own ``run_header``/``result`` events.
+    """
+    epochs: Dict[int, Optional[float]] = {}
+    for worker_id, records in traces:
+        epoch = records[0].get("epoch") if records else None
+        epochs[worker_id] = epoch
+    known = [epoch for epoch in epochs.values() if epoch is not None]
+    base = min(known) if known else 0.0
+
+    merged: List[Dict[str, Any]] = []
+    tails: List[Dict[str, Any]] = []
+    for worker_id, records in traces:
+        epoch = epochs[worker_id]
+        offset = (epoch - base) if epoch is not None else 0.0
+        last_t = 0.0
+        derived: Dict[str, Any] = {
+            "worker_id": worker_id,
+            "label": "",
+            "solver": "",
+            "status": "",
+            "cost": None,
+            "phase_times": {},
+        }
+        count = 0
+        for record in records:
+            out = dict(record)
+            out["worker_id"] = worker_id
+            out["t"] = round(offset + float(record.get("t", 0.0)), 6)
+            out.pop("epoch", None)
+            merged.append(out)
+            last_t = max(last_t, out["t"])
+            count += 1
+            kind = record.get("kind")
+            if kind == RUN_HEADER:
+                derived["solver"] = record.get("solver", "")
+                derived["label"] = record.get("instance", "")
+            elif kind == RESULT:
+                derived["status"] = record.get("status", "")
+                derived["cost"] = record.get("cost")
+        summary = dict(summaries.get(worker_id, {})) if summaries else {}
+        for key, value in derived.items():
+            summary.setdefault(key, value)
+        summary.setdefault("elapsed", round(last_t - offset, 6))
+        tails.append(
+            {
+                "kind": WORKER_SUMMARY,
+                "t": last_t,
+                "worker_id": worker_id,
+                "label": summary.get("label", ""),
+                "solver": summary.get("solver", ""),
+                "status": summary.get("status", ""),
+                "cost": summary.get("cost"),
+                "elapsed": summary.get("elapsed", 0.0),
+                "events": count,
+                "phase_times": summary.get("phase_times") or {},
+            }
+        )
+    merged.sort(key=lambda record: (record.get("t", 0.0), record["worker_id"]))
+    merged.extend(sorted(tails, key=lambda record: record["worker_id"]))
+    return merged
+
+
+def merge_trace_files(
+    output: str,
+    inputs: Sequence[str],
+    summaries: Optional[Mapping[int, Mapping[str, Any]]] = None,
+) -> int:
+    """Merge worker trace files into ``output``; returns the record count.
+
+    Worker ids are assigned from the input order (0, 1, ...), matching
+    the portfolio runner's ``<trace>.w<id>`` naming.
+    """
+    traces = [
+        (worker_id, read_trace(path)) for worker_id, path in enumerate(inputs)
+    ]
+    merged = merge_traces(traces, summaries)
+    write_records(output, merged)
+    return len(merged)
+
+
+def write_records(path: str, records: Sequence[Mapping[str, Any]]) -> None:
+    """Write records as JSONL (one compact object per line)."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":"), default=str))
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+def worker_spans(
+    records: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Per-worker activity spans of a merged timeline.
+
+    Returns one entry per worker (sorted by id): first/last aligned
+    timestamps, event count, and the ``worker_summary`` payload when the
+    timeline carries one.
+    """
+    spans: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        worker_id = record.get("worker_id")
+        if worker_id is None:
+            continue
+        t = float(record.get("t", 0.0))
+        span = spans.get(worker_id)
+        if span is None:
+            span = spans[worker_id] = {
+                "worker_id": worker_id,
+                "first_t": t,
+                "last_t": t,
+                "events": 0,
+                "summary": None,
+            }
+        if record.get("kind") == WORKER_SUMMARY:
+            span["summary"] = dict(record)
+            span["last_t"] = max(span["last_t"], t)
+            continue
+        span["events"] += 1
+        span["first_t"] = min(span["first_t"], t)
+        span["last_t"] = max(span["last_t"], t)
+    return [spans[worker_id] for worker_id in sorted(spans)]
+
+
+def straggler_summary(
+    records: Sequence[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Identify the straggling worker of a merged timeline.
+
+    The straggler is the worker whose last event lands latest; the
+    summary reports how far it trailed the *median* finisher — the
+    portfolio's wind-down cost.
+    """
+    spans = worker_spans(records)
+    if not spans:
+        return {"workers": 0, "straggler": None, "lag_seconds": 0.0}
+    ends = sorted(span["last_t"] for span in spans)
+    median = ends[len(ends) // 2]
+    worst = max(spans, key=lambda span: span["last_t"])
+    label = ""
+    if worst["summary"] is not None:
+        label = worst["summary"].get("label") or worst["summary"].get("solver", "")
+    return {
+        "workers": len(spans),
+        "straggler": worst["worker_id"],
+        "straggler_label": label,
+        "end_t": round(worst["last_t"], 6),
+        "median_end_t": round(median, 6),
+        "lag_seconds": round(worst["last_t"] - median, 6),
+    }
+
+
+def format_worker_report(records: Sequence[Mapping[str, Any]]) -> str:
+    """Render per-worker phase totals and the straggler summary.
+
+    The report ``python -m repro obs report`` prints for merged
+    timelines: one row per worker (status, span, events, top phases)
+    followed by the straggler line.
+    """
+    spans = worker_spans(records)
+    if not spans:
+        return "no worker events (not a merged timeline?)"
+    rows: List[Tuple[str, ...]] = [
+        ("worker", "label", "status", "start", "end", "events", "top phases")
+    ]
+    for span in spans:
+        summary = span["summary"] or {}
+        phases = summary.get("phase_times") or {}
+        top = ", ".join(
+            "%s %.3fs" % (name, seconds)
+            for name, seconds in sorted(
+                phases.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:3]
+        )
+        rows.append(
+            (
+                "w%d" % span["worker_id"],
+                str(summary.get("label", "") or "-"),
+                str(summary.get("status", "") or "-"),
+                "%.3f" % span["first_t"],
+                "%.3f" % span["last_t"],
+                str(span["events"]),
+                top or "-",
+            )
+        )
+    lines = [_align(rows)]
+    straggler = straggler_summary(records)
+    if straggler["straggler"] is not None:
+        lines.append(
+            "straggler: w%d%s finished at %.3fs, %+.3fs vs median %.3fs"
+            % (
+                straggler["straggler"],
+                " (%s)" % straggler["straggler_label"]
+                if straggler.get("straggler_label")
+                else "",
+                straggler["end_t"],
+                straggler["lag_seconds"],
+                straggler["median_end_t"],
+            )
+        )
+    return "\n".join(lines)

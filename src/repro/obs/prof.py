@@ -1,0 +1,255 @@
+"""Hotspot profiler: phase-scoped self-time capture via ``sys.setprofile``.
+
+The tool that answers "where does the wall-clock actually go" when the
+phase timer's coarse buckets are not enough (ROADMAP open item 1: simplex
+iterations dropped 73-91% yet grout wall-clock regressed — *which
+function* absorbed the saving?).
+
+:class:`HotspotProfiler` installs a ``sys.setprofile`` hook while the
+solve runs, maintains the live Python/C call stack, and attributes
+elapsed time to the function on top of it.  Two views are accumulated:
+
+* **self time** per ``(phase, function)`` — rendered by
+  :func:`format_hotspots` as a top-N table keyed by solver phase;
+* **collapsed stacks** per ``(phase, stack)`` — one
+  ``phase;mod:fn;mod:fn <microseconds>`` line per unique stack, the
+  interchange format flamegraph tooling consumes directly.
+
+Phase scoping piggybacks on :class:`~repro.obs.timers.PhaseTimer`: pass
+the profiler's :meth:`~HotspotProfiler.phase_listener` as the timer's
+``listener`` and every sample lands in the solver phase that was active
+when it was taken (samples outside any phase land in ``(main)``).
+
+This is *opt-in* instrumentation: the hook costs roughly an order of
+magnitude in slowdown, so it never runs unless requested
+(``SolverOptions(hotspot=...)`` / CLI ``--hotspot``).  CPython does not
+re-enter the profile hook for calls the hook itself makes, so the
+accounting code needs no re-entrancy guard.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+
+#: Phase label used for samples taken outside any timer phase.
+MAIN_PHASE = "(main)"
+
+
+def _code_label(frame) -> str:
+    """``module:function`` label for a Python frame."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    # keep the last two dotted components: "repro.lp.simplex" -> "lp.simplex"
+    parts = module.rsplit(".", 2)
+    short = ".".join(parts[-2:]) if len(parts) > 1 else module
+    return "%s:%s" % (short, code.co_name)
+
+
+def _c_label(func) -> str:
+    """``module:function`` label for a C-level callable."""
+    module = getattr(func, "__module__", None) or "builtins"
+    name = getattr(func, "__name__", None) or repr(func)
+    return "%s:%s" % (module, name)
+
+
+class HotspotProfiler:
+    """Collect per-phase self-time and collapsed stacks during a solve.
+
+    Use as a context manager around the region of interest, or pass via
+    ``SolverOptions(hotspot=profiler)`` and let the solver start/stop it::
+
+        prof = HotspotProfiler()
+        result = solve(instance, SolverOptions(profile=True, hotspot=prof))
+        print(prof.format_top(10))
+        prof.write_collapsed("solve.folded")
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        #: live call stack of ``module:fn`` labels
+        self._stack: List[str] = []
+        #: incremental ``;``-joined prefixes of the stack (index i covers
+        #: stack[:i+1]) so banking a sample is O(1), not O(depth)
+        self._joined: List[str] = []
+        self._phase = MAIN_PHASE
+        self._last: Optional[float] = None
+        self._active = False
+        #: (phase, function) -> exclusive seconds
+        self.self_times: Dict[Tuple[str, str], float] = {}
+        #: (phase, collapsed-stack) -> exclusive seconds
+        self.stacks: Dict[Tuple[str, str], float] = {}
+        #: profile events processed (for overhead accounting)
+        self.samples = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Install the profile hook (idempotent)."""
+        if self._active:
+            return
+        self._active = True
+        self._last = self._clock()
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        """Remove the profile hook (idempotent)."""
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._bank(self._clock())
+        self._active = False
+        self._stack.clear()
+        self._joined.clear()
+
+    def __enter__(self) -> "HotspotProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- phase scoping --------------------------------------------------
+    def phase_listener(self, phase: str) -> None:
+        """Phase-change callback for ``PhaseTimer(listener=...)``.
+
+        Called with the currently active phase name (empty string when
+        the phase stack is empty); banks the running sample into the old
+        phase before switching.
+        """
+        if self._active:
+            self._bank(self._clock())
+        self._phase = phase if phase else MAIN_PHASE
+
+    # -- the hook -------------------------------------------------------
+    def _bank(self, now: float) -> None:
+        """Attribute the elapsed segment to the current stack top."""
+        last = self._last
+        self._last = now
+        if last is None:
+            return
+        dt = now - last
+        if dt <= 0.0 or not self._stack:
+            return
+        phase = self._phase
+        leaf = (phase, self._stack[-1])
+        self.self_times[leaf] = self.self_times.get(leaf, 0.0) + dt
+        stack_key = (phase, self._joined[-1])
+        self.stacks[stack_key] = self.stacks.get(stack_key, 0.0) + dt
+
+    def _hook(self, frame, event, arg):
+        """The ``sys.setprofile`` callback (not re-entered by CPython)."""
+        now = self._clock()
+        self._bank(now)
+        self.samples += 1
+        if event == "call":
+            label = _code_label(frame)
+            self._joined.append(
+                self._joined[-1] + ";" + label if self._joined else label
+            )
+            self._stack.append(label)
+        elif event == "c_call":
+            label = _c_label(arg)
+            self._joined.append(
+                self._joined[-1] + ";" + label if self._joined else label
+            )
+            self._stack.append(label)
+        elif event in ("return", "c_return", "c_exception"):
+            # frames already live when the hook was installed return
+            # without a matching push: ignore their pops
+            if self._stack:
+                self._stack.pop()
+                self._joined.pop()
+        self._last = self._clock()  # exclude hook time from attribution
+
+    # -- output ---------------------------------------------------------
+    def total_seconds(self) -> float:
+        """Total attributed self-time across phases."""
+        return sum(self.self_times.values())
+
+    def top(self, n: int = 10) -> Dict[str, List[Tuple[str, float]]]:
+        """Per-phase top-``n`` functions by self time, descending."""
+        by_phase: Dict[str, Dict[str, float]] = {}
+        for (phase, func), seconds in self.self_times.items():
+            by_phase.setdefault(phase, {})[func] = seconds
+        return {
+            phase: sorted(funcs.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+            for phase, funcs in sorted(by_phase.items())
+        }
+
+    def collapsed_lines(self) -> List[str]:
+        """Flamegraph-collapsed lines ``phase;stack <microseconds>``.
+
+        Deterministically ordered (lexicographic by stack); zero-weight
+        stacks are dropped.
+        """
+        lines: List[str] = []
+        for (phase, stack) in sorted(self.stacks):
+            usec = int(round(self.stacks[(phase, stack)] * 1e6))
+            if usec > 0:
+                lines.append("%s;%s %d" % (phase, stack, usec))
+        return lines
+
+    def write_collapsed(self, sink: Union[str, TextIO]) -> int:
+        """Write the collapsed-stack profile; returns the line count."""
+        lines = self.collapsed_lines()
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if isinstance(sink, str):
+            with open(sink, "w") as handle:
+                handle.write(text)
+        else:
+            sink.write(text)
+        return len(lines)
+
+    def format_top(self, n: int = 10) -> str:
+        """Render the per-phase top-``n`` self-time table."""
+        return format_hotspots(self, n)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary: totals plus the per-phase top table."""
+        return {
+            "total_seconds": round(self.total_seconds(), 6),
+            "samples": self.samples,
+            "phases": {
+                phase: [
+                    {"function": func, "seconds": round(seconds, 6)}
+                    for func, seconds in entries
+                ]
+                for phase, entries in self.top(10).items()
+            },
+        }
+
+
+def format_hotspots(profiler: HotspotProfiler, n: int = 10) -> str:
+    """Aligned per-phase top-``n`` self-time table for a profiler.
+
+    Shares the table aesthetics of
+    :func:`repro.obs.report.format_profile`: one block per phase, rows
+    sorted by self time descending with each function's share of the
+    phase.
+    """
+    total = profiler.total_seconds()
+    blocks: List[str] = []
+    for phase, entries in profiler.top(n).items():
+        phase_total = sum(seconds for _, seconds in entries)
+        rows: List[Tuple[str, str, str]] = [("function", "self-seconds", "share")]
+        for func, seconds in entries:
+            share = seconds / phase_total if phase_total > 0 else 0.0
+            rows.append((func, "%.6f" % seconds, "%5.1f%%" % (100.0 * share)))
+        widths = [max(len(row[i]) for row in rows) for i in range(3)]
+        lines = ["phase %s  (%.6fs attributed)" % (phase, phase_total)]
+        for row in rows:
+            lines.append(
+                "  %s  %s  %s"
+                % (
+                    row[0].ljust(widths[0]),
+                    row[1].rjust(widths[1]),
+                    row[2].rjust(widths[2]),
+                )
+            )
+        blocks.append("\n".join(lines))
+    header = "hotspots: %.6fs attributed over %d samples" % (
+        total, profiler.samples,
+    )
+    return "\n\n".join([header] + blocks) if blocks else header

@@ -16,13 +16,19 @@ from .events import CONFLICT, INCUMBENT, LOWER_BOUND, PROGRESS, RESULT
 
 
 def format_profile(
-    phase_times: Mapping[str, float], elapsed: Optional[float] = None
+    phase_times: Mapping[str, float],
+    elapsed: Optional[float] = None,
+    counters: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Render the per-phase wall-time breakdown as an aligned table.
 
     Phases are sorted by time spent, descending; when ``elapsed`` is
     given, untimed time (main-loop overhead, bookkeeping) shows up as an
-    ``(other)`` row so the column sums to the total.
+    ``(other)`` row so the column sums to the total.  ``counters``
+    appends observability counters below the table (e.g.
+    ``uncertified_prunes`` on certifying runs, so the cost of proof
+    logging is visible next to the phases that paid it); zero/None
+    values are suppressed.
     """
     items: List[Tuple[str, float]] = sorted(
         phase_times.items(), key=lambda item: (-item[1], item[0])
@@ -38,7 +44,16 @@ def format_profile(
         share = other / total if total > 0 else 0.0
         rows.append(("(other)", "%.6f" % other, "%5.1f%%" % (100.0 * share)))
     rows.append(("total", "%.6f" % total, "100.0%"))
-    return _align(rows)
+    table = _align(rows)
+    if counters:
+        extras = [
+            (name, str(value))
+            for name, value in sorted(counters.items())
+            if value
+        ]
+        if extras:
+            table += "\n" + _align([("counter", "value")] + extras)
+    return table
 
 
 def gap_history(
@@ -101,20 +116,36 @@ def format_progress(events: Sequence[Mapping[str, Any]]) -> str:
 
 def trace_summary(events: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     """Aggregate counts of one parsed trace (kind -> occurrences, plus
-    the final status when a result record is present)."""
+    the final status when a result record is present).
+
+    On a merged multi-worker timeline the summary additionally lists the
+    distinct worker ids under ``workers`` and the status becomes the
+    *best* worker status (optimal beats satisfiable beats the rest).
+    """
     kinds: Dict[str, int] = {}
     status: Optional[str] = None
     conflicts = {"logic": 0, "bound": 0}
+    workers: Dict[int, bool] = {}
+    rank = {"optimal": 3, "unsatisfiable": 3, "satisfiable": 2}
     for record in events:
         kind = record.get("kind", "?")
         kinds[kind] = kinds.get(kind, 0) + 1
+        if record.get("worker_id") is not None:
+            workers[record["worker_id"]] = True
         if kind == CONFLICT:
             conflicts[record.get("type", "logic")] = (
                 conflicts.get(record.get("type", "logic"), 0) + 1
             )
         elif kind == RESULT:
-            status = record.get("status")
-    return {"kinds": kinds, "conflicts": conflicts, "status": status}
+            candidate = record.get("status")
+            if status is None or rank.get(candidate, 1) > rank.get(status, 1):
+                status = candidate
+    summary: Dict[str, Any] = {
+        "kinds": kinds, "conflicts": conflicts, "status": status,
+    }
+    if workers:
+        summary["workers"] = sorted(workers)
+    return summary
 
 
 def _align(rows: Sequence[Tuple[str, ...]]) -> str:

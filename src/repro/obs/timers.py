@@ -40,16 +40,24 @@ class _PhaseContext:
 
 
 class PhaseTimer:
-    """Stack-based exclusive phase timing."""
+    """Stack-based exclusive phase timing.
+
+    ``listener``, when given, is called with the name of the phase that
+    became current after every push/pop (the empty string once the stack
+    drains) — the hook the hotspot profiler uses to scope its samples to
+    solver phases without the solver knowing about the profiler.
+    """
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=time.perf_counter, listener=None):
         self._clock = clock
         # [name, start-of-current-exclusive-segment]
         self._stack: List[List] = []
         #: phase name -> exclusive seconds (banked segments only).
         self.totals: Dict[str, float] = {}
+        #: Optional ``callable(current_phase: str)`` phase-change hook.
+        self.listener = listener
 
     # ------------------------------------------------------------------
     def push(self, name: str) -> None:
@@ -60,6 +68,8 @@ class PhaseTimer:
             top = stack[-1]
             self.totals[top[0]] = self.totals.get(top[0], 0.0) + now - top[1]
         stack.append([name, now])
+        if self.listener is not None:
+            self.listener(name)
 
     def pop(self) -> str:
         """Leave the current phase; resumes the enclosing phase's clock."""
@@ -71,6 +81,8 @@ class PhaseTimer:
         self.totals[name] = self.totals.get(name, 0.0) + now - since
         if stack:
             stack[-1][1] = now
+        if self.listener is not None:
+            self.listener(stack[-1][0] if stack else "")
         return name
 
     def phase(self, name: str) -> _PhaseContext:

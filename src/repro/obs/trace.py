@@ -14,15 +14,47 @@ When enabled, :class:`JsonlTracer` writes one JSON object per line::
 ``t`` is the monotonic time in seconds since the first event of the
 trace.  Events are buffered and flushed in batches so tracing long runs
 does not turn into one syscall per decision.
+
+Two properties matter for fleet use (portfolio workers):
+
+* **crash safety** — a finalizer drains the buffer when the tracer is
+  garbage-collected or the interpreter exits, so a worker that dies
+  without calling :meth:`JsonlTracer.close` still leaves every buffered
+  event on disk; a worker killed mid-write leaves at worst one
+  truncated *final* line, which :func:`read_trace` tolerates (the trace
+  is truncated, never corrupt);
+* **clock alignment** — the first record carries an ``epoch`` field
+  (wall-clock seconds at the first event), so the portfolio coordinator
+  can shift each worker's monotonic ``t`` values onto a common
+  timeline (see :mod:`repro.obs.merge`).
 """
 
 from __future__ import annotations
 
 import json
 import time
+import weakref
 from typing import IO, Any, Dict, List, Optional, Union
 
 from .events import Event
+
+
+def _drain(file: IO[str], buffer: List[str], owns_file: bool) -> None:
+    """Finalizer body: flush whatever is buffered, then release the file.
+
+    Takes the file and the (shared, mutated-in-place) buffer list rather
+    than the tracer so the finalizer holds no reference that would keep
+    the tracer alive.
+    """
+    try:
+        if buffer:
+            file.write("\n".join(buffer) + "\n")
+            buffer.clear()
+        file.flush()
+        if owns_file:
+            file.close()
+    except (OSError, ValueError):
+        pass  # interpreter teardown: the file may already be gone
 
 
 class Tracer:
@@ -76,6 +108,7 @@ class JsonlTracer(Tracer):
         sink: Union[str, IO[str]],
         buffer_size: int = 256,
         clock=time.monotonic,
+        wall_clock=time.time,
     ):
         if buffer_size < 1:
             raise ValueError("buffer_size must be >= 1")
@@ -88,6 +121,7 @@ class JsonlTracer(Tracer):
         self._buffer: List[str] = []
         self._buffer_size = buffer_size
         self._clock = clock
+        self._wall_clock = wall_clock
         self._start: Optional[float] = None
         self._closed = False
         self.instance_label = ""
@@ -95,14 +129,28 @@ class JsonlTracer(Tracer):
         self.events_emitted = 0
         #: Physical sink writes performed (for overhead accounting).
         self.writes = 0
+        # Crash safety: drain the buffer at GC / interpreter exit.  The
+        # finalizer captures the buffer *list* (mutated in place by
+        # flush) so it always sees the current backlog, and never the
+        # tracer itself, so it does not keep the tracer alive.
+        self._finalizer = weakref.finalize(
+            self, _drain, self._file, self._buffer, self._owns_file
+        )
 
     # ------------------------------------------------------------------
     def emit(self, event: Event) -> None:
-        """Buffer one event, stamped with the run-relative time."""
+        """Buffer one event, stamped with the run-relative time.
+
+        The first event additionally carries ``epoch``: the wall-clock
+        time the trace started, for cross-process timeline alignment.
+        """
         now = self._clock()
+        record: Dict[str, Any] = {"kind": event.kind, "t": 0.0}
         if self._start is None:
             self._start = now
-        record: Dict[str, Any] = {"kind": event.kind, "t": round(now - self._start, 6)}
+            record["epoch"] = round(self._wall_clock(), 6)
+        else:
+            record["t"] = round(now - self._start, 6)
         record.update(event.payload())
         self._buffer.append(json.dumps(record, separators=(",", ":"), default=str))
         self.events_emitted += 1
@@ -121,18 +169,37 @@ class JsonlTracer(Tracer):
         """Flush and close the underlying file (idempotent)."""
         if self._closed:
             return
+        self._finalizer.detach()
         self.flush()
+        self._file.flush()
         if self._owns_file:
             self._file.close()
         self._closed = True
 
 
-def read_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace back into a list of record dicts."""
-    records: List[Dict[str, Any]] = []
+def read_trace(path: str, strict: bool = False) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of record dicts.
+
+    A worker killed mid-write leaves at worst one truncated *final*
+    line; by default it is silently dropped (the trace is truncated, not
+    corrupt).  A malformed line anywhere *else* — or the final one under
+    ``strict=True`` — raises ``ValueError``: that is real corruption,
+    not a crash artifact.
+    """
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1 and not strict:
+                break  # truncated tail from a mid-write crash
+            raise ValueError(
+                "corrupt trace line %d in %s: %r" % (index + 1, path, line[:80])
+            )
     return records

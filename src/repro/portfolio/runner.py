@@ -26,7 +26,7 @@ import multiprocessing
 import os
 import queue as queue_module
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.options import SolverOptions
 from ..core.result import (
@@ -44,10 +44,22 @@ from .stats import PortfolioStats
 _NO_BOUND = 2 ** 62
 
 
+def _worker_trace_path(trace_path: str, worker_id: int) -> str:
+    """Per-worker trace file name (``<merged>.w<id>``)."""
+    return "%s.w%d" % (trace_path, worker_id)
+
+
 def _worker_main(worker_id, spec, instance, time_limit, best_value,
-                 stop_event, channel):
+                 stop_event, channel, trace_path=None, collect_metrics=False):
     """Worker-process entry point: build the spec's solver with the
-    exchange hooks installed and ship the result (or the error) back."""
+    exchange hooks installed and ship the result (or the error) back.
+
+    With ``trace_path`` the worker writes its own crash-safe
+    :class:`~repro.obs.trace.JsonlTracer` file (profiling forced on so
+    phase times reach the merged report); with ``collect_metrics`` it
+    runs a private :class:`~repro.obs.metrics.MetricsRegistry` whose
+    snapshot travels back with the result for coordinator-side merging.
+    """
     try:
         from ..api import make_solver
 
@@ -66,15 +78,38 @@ def _worker_main(worker_id, spec, instance, time_limit, best_value,
             cost = best_value.value
             return cost if cost < _NO_BOUND else None
 
-        options = base.replace(
+        overrides: Dict[str, Any] = dict(
             time_limit=limit,
             on_incumbent=publish,
             external_bound=imported,
             should_stop=stop_event.is_set,
         )
+        tracer = None
+        registry = None
+        if trace_path is not None:
+            from ..obs.trace import JsonlTracer
+
+            tracer = JsonlTracer(trace_path)
+            tracer.instance_label = spec.label
+            overrides.update(tracer=tracer, profile=True)
+        if collect_metrics:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            overrides["metrics"] = registry
+        options = base.replace(**overrides)
         solver = make_solver(instance, spec.solver, options)
         result = solver.solve()
-        channel.put(("result", worker_id, result))
+        if tracer is not None:
+            tracer.close()
+        obs: Optional[Dict[str, Any]] = None
+        if tracer is not None or registry is not None:
+            obs = {
+                "trace_path": trace_path,
+                "trace_events": tracer.events_emitted if tracer else 0,
+                "metrics": registry.snapshot() if registry is not None else None,
+            }
+        channel.put(("result", worker_id, result, obs))
     except BaseException as exc:  # report *any* failure, then exit
         try:
             channel.put(
@@ -106,6 +141,8 @@ class PortfolioSolver:
         grace: float = 2.0,
         stop_on_proof: bool = True,
         start_method: Optional[str] = None,
+        trace_path: Optional[str] = None,
+        metrics=None,
     ):
         self._instance = instance
         self._options = options if options is not None else SolverOptions()
@@ -123,6 +160,19 @@ class PortfolioSolver:
         self._grace = grace
         self._stop_on_proof = stop_on_proof
         self._start_method = start_method
+        #: Merged-timeline output: workers write ``<trace_path>.w<id>``
+        #: and the coordinator merges them into ``trace_path`` with
+        #: aligned timestamps (see :mod:`repro.obs.merge`).
+        self._trace_path = trace_path
+        #: Coordinator-side metrics registry; worker snapshots are merged
+        #: into it.  Falls back to ``options.metrics`` (the options
+        #: object never crosses the process boundary, so a live registry
+        #: there belongs to the coordinator by construction).
+        if metrics is None:
+            metrics = self._options.metrics
+        self._metrics = (
+            metrics if (metrics is not None and metrics.enabled) else None
+        )
         self.stats = PortfolioStats()
 
     # ------------------------------------------------------------------
@@ -139,10 +189,16 @@ class PortfolioSolver:
 
         processes: List = []
         for worker_id, spec in enumerate(self._specs):
+            worker_trace = (
+                _worker_trace_path(self._trace_path, worker_id)
+                if self._trace_path is not None
+                else None
+            )
             process = ctx.Process(
                 target=_worker_main,
                 args=(worker_id, spec, self._instance, self._time_limit,
-                      best_value, stop_event, channel),
+                      best_value, stop_event, channel, worker_trace,
+                      self._metrics is not None),
                 daemon=True,
                 name="portfolio-%s" % spec.label,
             )
@@ -151,6 +207,7 @@ class PortfolioSolver:
 
         results: Dict[int, SolveResult] = {}
         errors: Dict[int, str] = {}
+        obs_meta: Dict[int, Dict[str, Any]] = {}
         best_shared: Optional[Tuple[int, Dict[int, int]]] = None
         pending = set(range(len(self._specs)))
 
@@ -163,8 +220,10 @@ class PortfolioSolver:
                 if best_shared is None or cost < best_shared[0]:
                     best_shared = (cost, model)
             elif kind == "result":
-                _, worker_id, result = message
+                _, worker_id, result, obs = message
                 results[worker_id] = result
+                if obs is not None:
+                    obs_meta[worker_id] = obs
                 pending.discard(worker_id)
                 if self._stop_on_proof and result.solved:
                     stop_event.set()
@@ -217,7 +276,55 @@ class PortfolioSolver:
         for process in processes:
             process.join(timeout=1.0)
 
-        return self._assemble(results, errors, best_shared, start)
+        self._merge_observability(results, obs_meta)
+        return self._assemble(results, errors, best_shared, obs_meta, start)
+
+    # ------------------------------------------------------------------
+    def _merge_observability(
+        self,
+        results: Dict[int, SolveResult],
+        obs_meta: Dict[int, Dict[str, Any]],
+    ) -> None:
+        """Coordinator-side aggregation after the workers are gone.
+
+        Worker metrics snapshots are merged into the coordinator's
+        registry; per-worker trace files (including those of crashed
+        workers — the crash-safe tracer leaves valid JSONL behind) are
+        merged into ``self._trace_path`` as one worker-tagged,
+        clock-aligned timeline.
+        """
+        if self._metrics is not None:
+            for obs in obs_meta.values():
+                snapshot = obs.get("metrics")
+                if snapshot:
+                    self._metrics.merge_snapshot(snapshot)
+        if self._trace_path is None:
+            return
+        from ..obs.merge import merge_traces, write_records
+        from ..obs.trace import read_trace
+
+        traces: List[Tuple[int, List[Dict[str, Any]]]] = []
+        summaries: Dict[int, Dict[str, Any]] = {}
+        for worker_id, spec in enumerate(self._specs):
+            path = _worker_trace_path(self._trace_path, worker_id)
+            try:
+                records = read_trace(path)
+            except (OSError, ValueError):
+                continue
+            traces.append((worker_id, records))
+            summary: Dict[str, Any] = {
+                "label": spec.label,
+                "solver": spec.solver,
+            }
+            result = results.get(worker_id)
+            if result is not None:
+                summary["status"] = result.status
+                summary["cost"] = result.best_cost
+                summary["elapsed"] = result.stats.elapsed
+                summary["phase_times"] = dict(result.stats.phase_times)
+            summaries[worker_id] = summary
+        if traces:
+            write_records(self._trace_path, merge_traces(traces, summaries))
 
     # ------------------------------------------------------------------
     def _assemble(
@@ -225,6 +332,7 @@ class PortfolioSolver:
         results: Dict[int, SolveResult],
         errors: Dict[int, str],
         best_shared: Optional[Tuple[int, Dict[int, int]]],
+        obs_meta: Dict[int, Dict[str, Any]],
         start: float,
     ) -> SolveResult:
         stats = self.stats
@@ -234,6 +342,7 @@ class PortfolioSolver:
                 stats.add_worker_result(
                     spec.label, spec.solver, result.status, result.best_cost,
                     result.stats.elapsed, result.stats.as_dict(),
+                    obs=obs_meta.get(worker_id),
                 )
             elif worker_id in errors:
                 stats.add_worker_failure(spec.label, spec.solver,
@@ -301,8 +410,11 @@ def solve_portfolio(
     time_limit: Optional[float] = None,
     specs: Optional[Sequence[WorkerSpec]] = None,
     options: Optional[SolverOptions] = None,
+    trace_path: Optional[str] = None,
+    metrics=None,
 ) -> SolveResult:
     """Convenience wrapper: build a :class:`PortfolioSolver` and run it."""
     return PortfolioSolver(
-        instance, options, specs=specs, workers=workers, time_limit=time_limit
+        instance, options, specs=specs, workers=workers, time_limit=time_limit,
+        trace_path=trace_path, metrics=metrics,
     ).solve()

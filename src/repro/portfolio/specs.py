@@ -20,6 +20,8 @@ from ..core.options import SolverOptions
 #: incumbent/interrupt hooks inside each worker process.
 _PROCESS_LOCAL_FIELDS = (
     "tracer",
+    "metrics",
+    "hotspot",
     "on_new_solution",
     "on_progress",
     "on_incumbent",

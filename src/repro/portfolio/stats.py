@@ -54,18 +54,28 @@ class PortfolioStats(SolverStats):
     # ------------------------------------------------------------------
     def add_worker_result(self, label: str, solver: str, status: str,
                           cost: Optional[int], seconds: float,
-                          stats_dict: Dict[str, Any]) -> None:
-        """Record one worker's completed run."""
-        self.workers.append(
-            {
-                "label": label,
-                "solver": solver,
-                "status": status,
-                "cost": cost,
-                "seconds": round(seconds, 6),
-                "stats": stats_dict,
-            }
-        )
+                          stats_dict: Dict[str, Any],
+                          obs: Optional[Dict[str, Any]] = None) -> None:
+        """Record one worker's completed run.
+
+        ``obs`` is the optional observability payload shipped back with
+        the result (per-worker trace path, event count, and metrics
+        snapshot); the trace fields land in the worker entry so reports
+        can point at the raw per-worker files.
+        """
+        entry = {
+            "label": label,
+            "solver": solver,
+            "status": status,
+            "cost": cost,
+            "seconds": round(seconds, 6),
+            "stats": stats_dict,
+        }
+        if obs:
+            if obs.get("trace_path"):
+                entry["trace_path"] = obs["trace_path"]
+                entry["trace_events"] = obs.get("trace_events", 0)
+        self.workers.append(entry)
         for field in _SUMMED_FIELDS:
             value = stats_dict.get(field)
             if value:

@@ -111,11 +111,20 @@ class TestPortfolioFlag:
         with pytest.raises(SystemExit):
             cli.main([opt_file, "--portfolio", "0"])
 
-    def test_portfolio_rejects_trace(self, opt_file, tmp_path):
+    def test_portfolio_accepts_trace_and_merges(self, opt_file, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        code = cli.main(
+            [opt_file, "--portfolio", "2", "--trace", trace_path]
+        )
+        assert code == 0
+        records = read_trace(trace_path)
+        assert sorted({r["worker_id"] for r in records}) == [0, 1]
+
+    def test_portfolio_rejects_hotspot(self, opt_file, tmp_path):
         with pytest.raises(SystemExit):
             cli.main(
                 [opt_file, "--portfolio", "2",
-                 "--trace", str(tmp_path / "t.jsonl")]
+                 "--hotspot", str(tmp_path / "h.folded")]
             )
 
 
@@ -212,3 +221,87 @@ class TestObservabilityFlags:
         assert records[0]["kind"] == "run_header"
         assert records[0]["solver"] == "pbs-like"
         assert records[-1]["kind"] == "result"
+
+
+class TestMetricsAndHotspotFlags:
+    def test_metrics_flag_writes_exposition_file(self, opt_file, tmp_path):
+        metrics_path = str(tmp_path / "metrics.txt")
+        exit_code = cli.main([opt_file, "--metrics", metrics_path])
+        assert exit_code == 0
+        text = open(metrics_path).read()
+        assert "# TYPE solver_decisions counter" in text
+        assert "engine_propagations" in text
+
+    def test_metrics_dash_prints_c_prefixed(self, opt_file, capsys):
+        exit_code = cli.main([opt_file, "--metrics", "-"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        metric_lines = [
+            l for l in out.splitlines() if l.startswith("c solver_decisions")
+        ]
+        assert metric_lines
+
+    def test_hotspot_flag_writes_collapsed_stacks(
+        self, opt_file, tmp_path, capsys
+    ):
+        folded = str(tmp_path / "solve.folded")
+        exit_code = cli.main([opt_file, "--hotspot", folded])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert any(l.startswith("c hotspots:") for l in out.splitlines())
+        lines = open(folded).read().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+
+class TestObsSubcommand:
+    def _write_worker_traces(self, tmp_path, count=2):
+        from repro.obs.merge import write_records
+
+        paths = []
+        for worker_id in range(count):
+            records = [
+                {
+                    "kind": "run_header", "t": 0.0,
+                    "epoch": 100.0 + worker_id, "solver": "bsolo",
+                    "instance": "w%d" % worker_id, "options": {},
+                },
+                {
+                    "kind": "result", "t": 0.5,
+                    "status": "optimal", "cost": 4,
+                },
+            ]
+            path = str(tmp_path / ("t.jsonl.w%d" % worker_id))
+            write_records(path, records)
+            paths.append(path)
+        return paths
+
+    def test_obs_merge_combines_worker_traces(self, tmp_path, capsys):
+        paths = self._write_worker_traces(tmp_path)
+        out_path = str(tmp_path / "merged.jsonl")
+        exit_code = cli.obs_main(["merge", out_path] + paths)
+        assert exit_code == 0
+        assert "merged" in capsys.readouterr().out
+        records = read_trace(out_path)
+        assert sorted({r["worker_id"] for r in records}) == [0, 1]
+
+    def test_obs_report_renders_worker_table(self, tmp_path, capsys):
+        paths = self._write_worker_traces(tmp_path)
+        out_path = str(tmp_path / "merged.jsonl")
+        cli.obs_main(["merge", out_path] + paths)
+        capsys.readouterr()
+        exit_code = cli.obs_main(["report", out_path])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("worker")
+        assert "straggler" in out
+
+    def test_obs_report_single_trace_summary(self, opt_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        cli.main([opt_file, "--trace", trace_path])
+        capsys.readouterr()
+        exit_code = cli.obs_main(["report", trace_path])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "status: optimal" in out
+        assert "gap" in out

@@ -1,0 +1,328 @@
+"""Tests for the metrics registry (repro.obs.metrics).
+
+Covers instrument semantics (counter/gauge/histogram), family labeling
+rules, deterministic exposition, cross-process snapshot/merge, the
+NULL_METRICS zero-cost contract, and solver integration (counters agree
+with SolverStats).
+"""
+
+import pytest
+
+from repro import SolverOptions, parse, solve
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+OPT_INSTANCE = """\
+* #variable= 3 #constraint= 3
+min: +1 x1 +2 x2 +3 x3 ;
++1 x1 +1 x2 >= 1 ;
++1 x2 +1 x3 >= 1 ;
++1 x1 +1 x3 >= 1 ;
+"""
+
+
+class TestInstruments:
+    """Raw instrument semantics."""
+
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_counter_rejects_negative(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_histogram_buckets_and_sum(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)  # lands in the +Inf tail
+        assert hist.count == 3
+        assert hist.sum == 105.5
+        assert hist.counts == [1, 1, 1]
+
+    def test_histogram_cumulative_rendering(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert hist.cumulative() == [("1", 1), ("10", 2), ("+Inf", 3)]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    """Family registration, labels, and lookup."""
+
+    def test_unlabeled_counter_returns_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("decisions", "decisions made")
+        counter.inc(3)
+        assert registry.get_value("decisions") == 3
+
+    def test_labeled_family_children_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("conflicts", labels=("type",))
+        family.labels(type="logic").inc(2)
+        family.labels(type="bound").inc(1)
+        assert registry.get_value("conflicts", type="logic") == 2
+        assert registry.get_value("conflicts", type="bound") == 1
+
+    def test_labels_must_match_declaration(self):
+        registry = MetricsRegistry()
+        family = registry.counter("conflicts", labels=("type",))
+        with pytest.raises(ValueError):
+            family.labels(wrong="x")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", labels=("outcome",))
+        second = registry.counter("hits", labels=("outcome",))
+        first.labels(outcome="hit").inc()
+        second.labels(outcome="hit").inc()
+        assert registry.get_value("hits", outcome="hit") == 2
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.counter("x", labels=("a",))
+
+    def test_get_value_missing_returns_none(self):
+        registry = MetricsRegistry()
+        assert registry.get_value("nothing") is None
+        registry.counter("present", labels=("k",))
+        assert registry.get_value("present", k="never-touched") is None
+
+    def test_get_value_histogram_shape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        hist.observe(0.25)
+        assert registry.get_value("latency") == {"sum": 0.25, "count": 1}
+
+
+class TestExposition:
+    """render_text / as_dict determinism."""
+
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("b_counter", "second family").inc(2)
+        family = registry.counter("a_counter", "first family", labels=("kind",))
+        family.labels(kind="z").inc()
+        family.labels(kind="a").inc(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_render_text_is_deterministic_and_sorted(self):
+        text_a = self._populated().render_text()
+        text_b = self._populated().render_text()
+        assert text_a == text_b
+        # families lexicographic, label values lexicographic within
+        assert text_a.index("a_counter") < text_a.index("b_counter")
+        assert text_a.index('kind="a"') < text_a.index('kind="z"')
+
+    def test_render_text_prometheus_shapes(self):
+        text = self._populated().render_text()
+        assert "# TYPE a_counter counter" in text
+        assert '# HELP a_counter first family' in text
+        assert 'a_counter{kind="a"} 3' in text
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 0.5" in text
+        assert "h_count 1" in text
+        assert text.endswith("\n")
+
+    def test_as_dict_round_trips_values(self):
+        data = self._populated().as_dict()
+        assert data["b_counter"]["samples"][0]["value"] == 2
+        kinds = {
+            sample["labels"]["kind"]: sample["value"]
+            for sample in data["a_counter"]["samples"]
+        }
+        assert kinds == {"a": 3, "z": 1}
+        hist = data["h"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""
+        assert MetricsRegistry().as_dict() == {}
+
+
+class TestSnapshotMerge:
+    """Cross-process aggregation: snapshot() -> merge_snapshot()."""
+
+    def test_counters_add(self):
+        worker = MetricsRegistry()
+        worker.counter("decisions").inc(4)
+        coordinator = MetricsRegistry()
+        coordinator.counter("decisions").inc(1)
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.get_value("decisions") == 5
+
+    def test_gauges_take_last_write(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(7)
+        coordinator = MetricsRegistry()
+        coordinator.gauge("depth").set(3)
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.get_value("depth") == 7
+
+    def test_histograms_add_binwise(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+        coordinator = MetricsRegistry()
+        coordinator.histogram("lat", buckets=(1.0,)).observe(2.0)
+        coordinator.merge_snapshot(worker.snapshot())
+        value = coordinator.get_value("lat")
+        assert value == {"sum": 2.5, "count": 2}
+
+    def test_merge_creates_missing_families(self):
+        worker = MetricsRegistry()
+        worker.counter("only_in_worker", "w", labels=("k",)).labels(k="x").inc(2)
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.get_value("only_in_worker", k="x") == 2
+        # metadata travelled too: re-registration must agree
+        coordinator.counter("only_in_worker", labels=("k",))
+
+    def test_merge_is_associative_over_workers(self):
+        snaps = []
+        for amount in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(amount)
+            snaps.append(registry.snapshot())
+        left = MetricsRegistry()
+        for snap in snaps:
+            left.merge_snapshot(snap)
+        right = MetricsRegistry()
+        for snap in reversed(snaps):
+            right.merge_snapshot(snap)
+        assert left.render_text() == right.render_text()
+        assert left.get_value("n") == 6
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+        coordinator = MetricsRegistry()
+        coordinator.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            coordinator.merge_snapshot(worker.snapshot())
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("k",)).labels(k="v").inc()
+        registry.histogram("h").observe(0.1)
+        json.dumps(registry.snapshot())  # must be JSON/pickle-safe
+
+
+class TestNullMetrics:
+    """The disabled registry is inert and branch-free to wire."""
+
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_accept_all_operations(self):
+        counter = NULL_METRICS.counter("x", labels=("k",))
+        counter.labels(k="v").inc(5)
+        NULL_METRICS.gauge("g").set(3)
+        NULL_METRICS.gauge("g").dec()
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.render_text() == ""
+        assert NULL_METRICS.as_dict() == {}
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.get_value("x", k="v") is None
+
+    def test_merge_into_null_is_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        null = NullMetricsRegistry()
+        null.merge_snapshot(registry.snapshot())
+        assert null.families() == []
+
+
+class TestDefaultRegistry:
+    """Process-wide default registry swap semantics."""
+
+    def test_set_default_registry_swaps_and_returns_old(self):
+        fresh = MetricsRegistry()
+        old = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            set_default_registry(old)
+        assert default_registry() is old
+
+
+class TestSolverIntegration:
+    """Metrics recorded during a real solve agree with SolverStats."""
+
+    def test_solve_records_consistent_counters(self):
+        instance = parse(OPT_INSTANCE)
+        registry = MetricsRegistry()
+        result = solve(instance, SolverOptions(metrics=registry))
+        assert result.status == "optimal"
+        assert result.best_cost == 3
+        assert (
+            registry.get_value("solver_decisions") == result.stats.decisions
+        )
+        text = registry.render_text()
+        assert "engine_propagations" in text
+        # propagation counters carry the backend label
+        assert 'backend="' in text
+
+    def test_default_solve_records_nothing(self):
+        instance = parse(OPT_INSTANCE)
+        fresh = MetricsRegistry()
+        old = set_default_registry(fresh)
+        try:
+            result = solve(instance)
+            assert result.status == "optimal"
+            assert fresh.render_text() == ""
+        finally:
+            set_default_registry(old)
+
+    def test_lower_bound_histogram_observed(self):
+        instance = parse(OPT_INSTANCE)
+        registry = MetricsRegistry()
+        result = solve(instance, SolverOptions(metrics=registry))
+        assert result.status == "optimal"
+        calls = result.stats.lower_bound_calls
+        if calls:
+            family = registry.as_dict().get("solver_lower_bound_seconds")
+            assert family is not None
+            observed = sum(sample["count"] for sample in family["samples"])
+            assert observed == calls
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

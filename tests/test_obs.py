@@ -326,3 +326,164 @@ class TestReports:
         assert encoded["solver"] == "bsolo-mis"
         assert encoded["status"] == "optimal"
         assert encoded["stats"]["decisions"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Crash safety (portfolio workers die without close())
+# ----------------------------------------------------------------------
+class TestCrashSafety:
+    def test_killed_writer_leaves_buffered_events_on_disk(self, tmp_path):
+        """A worker that hard-exits mid-run must still leave a valid trace."""
+        import subprocess
+        import sys
+
+        path = tmp_path / "crash.jsonl"
+        script = (
+            "import sys\n"
+            "from repro.obs.trace import JsonlTracer\n"
+            "from repro.obs.events import DecisionEvent, RunHeaderEvent\n"
+            "tracer = JsonlTracer(sys.argv[1], buffer_size=1000)\n"
+            "tracer.emit(RunHeaderEvent(solver='bsolo', instance='crash'))\n"
+            "for i in range(25):\n"
+            "    tracer.emit(DecisionEvent(literal=i + 1, level=i))\n"
+            # die from an uncaught exception: close() never runs, the
+            # weakref finalizer must drain the buffer at interpreter exit
+            "raise RuntimeError('worker died')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert proc.returncode == 1
+        records = read_trace(str(path))
+        # the finalizer drained the buffer on interpreter exit
+        assert len(records) == 26
+        assert records[0]["kind"] == "run_header"
+        assert records[-1]["kind"] == "decision"
+
+    def test_truncated_final_line_dropped_by_default(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            '{"kind":"run_header","t":0.0}\n'
+            '{"kind":"decision","t":0.1,"literal":1}\n'
+            '{"kind":"result","t":0.2,"sta'  # killed mid-write
+        )
+        records = read_trace(str(path))
+        assert [r["kind"] for r in records] == ["run_header", "decision"]
+
+    def test_truncated_final_line_raises_under_strict(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"kind":"run_header","t":0.0}\n{"kind":"dec')
+        with pytest.raises(ValueError):
+            read_trace(str(path), strict=True)
+
+    def test_corrupt_middle_line_always_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"kind":"run_header","t":0.0}\n'
+            "not json at all\n"
+            '{"kind":"result","t":0.2,"status":"optimal"}\n'
+        )
+        with pytest.raises(ValueError):
+            read_trace(str(path))
+
+
+# ----------------------------------------------------------------------
+# Report edge cases
+# ----------------------------------------------------------------------
+class TestReportEdgeCases:
+    def test_empty_trace_summary(self):
+        summary = trace_summary([])
+        assert summary["kinds"] == {}
+        assert summary["status"] is None
+        assert "workers" not in summary
+
+    def test_empty_trace_progress_renders_header_only(self):
+        text = format_progress([])
+        assert text.splitlines()[0].split() == ["t", "best", "lower", "gap"]
+        assert len(text.splitlines()) == 1
+
+    def test_gap_history_without_incumbent(self):
+        events = [
+            {"kind": "run_header", "t": 0.0},
+            {"kind": "lower_bound", "t": 0.1, "level": 0, "path": 0, "value": 2},
+            {"kind": "result", "t": 0.2, "status": "unsatisfiable"},
+        ]
+        points = gap_history(events)
+        assert points == [{"t": 0.1, "best": None, "lower": 2}]
+        text = format_progress(events)
+        assert text.splitlines()[-1].endswith("-")  # gap undefined
+
+    def test_gap_history_ignores_deep_and_infeasible_bounds(self):
+        events = [
+            {"kind": "lower_bound", "t": 0.1, "level": 3, "path": 1, "value": 9},
+            {
+                "kind": "lower_bound", "t": 0.2, "level": 0,
+                "path": 0, "value": 5, "infeasible": True,
+            },
+        ]
+        assert gap_history(events) == []
+
+    def test_trace_summary_merged_timeline_reports_best_status(self):
+        records = [
+            {"kind": "result", "t": 1.0, "status": "satisfiable", "worker_id": 0},
+            {"kind": "result", "t": 1.5, "status": "optimal", "worker_id": 1},
+            {"kind": "decision", "t": 0.5, "worker_id": 2, "literal": 1},
+        ]
+        summary = trace_summary(records)
+        assert summary["workers"] == [0, 1, 2]
+        assert summary["status"] == "optimal"  # best across the fleet
+
+    def test_format_profile_counters_table(self):
+        text = format_profile(
+            {"propagate": 0.5, "proof": 0.1},
+            elapsed=1.0,
+            counters={"uncertified_prunes": 3, "zero_counter": 0},
+        )
+        assert "proof" in text
+        assert "counter" in text
+        assert "uncertified_prunes" in text
+        assert "3" in text.splitlines()[-1]
+        assert "zero_counter" not in text  # zero values suppressed
+
+    def test_format_profile_no_counter_table_when_all_zero(self):
+        text = format_profile({"a": 1.0}, counters={"n": 0})
+        assert "counter" not in text
+
+
+# ----------------------------------------------------------------------
+# Registry-wide smoke: every solver honours tracer/profile uniformly
+# ----------------------------------------------------------------------
+class TestRegistryWideObservability:
+    def test_every_registered_solver_traces_and_profiles(self, tmp_path):
+        """Each solver must emit run_header/result and honour profile=True.
+
+        The portfolio coordinator is excluded: in-process trace sinks
+        cannot cross the worker process boundary (use ``trace_path``,
+        covered by tests/test_obs_merge.py).
+        """
+        from repro.api import available_solvers
+
+        instance = parse(OPT_INSTANCE)
+        for name in available_solvers():
+            if name == "portfolio":
+                continue
+            path = tmp_path / ("%s.jsonl" % name)
+            with JsonlTracer(str(path), buffer_size=1) as tracer:
+                result = solve(
+                    instance, solver=name, tracer=tracer, profile=True
+                )
+            assert result.status == "optimal", name
+            assert result.best_cost == 4, name
+            records = read_trace(str(path))
+            kinds = [record["kind"] for record in records]
+            assert kinds[0] == "run_header", name
+            assert "result" in kinds, name
+            final = [r for r in records if r["kind"] == "result"][-1]
+            assert final["status"] == "optimal", name
+            assert isinstance(result.stats.phase_times, dict), name
+            assert all(
+                seconds >= 0.0
+                for seconds in result.stats.phase_times.values()
+            ), name

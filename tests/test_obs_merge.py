@@ -1,0 +1,243 @@
+"""Tests for portfolio trace aggregation (repro.obs.merge).
+
+Covers clock alignment of per-worker traces onto one timeline, worker_id
+tagging, summary synthesis and override, the per-worker report and
+straggler summary, the file-level merge used by ``python -m repro obs
+merge``, and an end-to-end two-worker portfolio run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import parse
+from repro.obs.events import WORKER_SUMMARY
+from repro.obs.merge import (
+    format_worker_report,
+    merge_trace_files,
+    merge_traces,
+    straggler_summary,
+    worker_spans,
+    write_records,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import trace_summary
+from repro.obs.trace import read_trace
+from repro.portfolio.runner import PortfolioSolver
+
+OPT_INSTANCE = """\
+* #variable= 3 #constraint= 3
+min: +1 x1 +2 x2 +3 x3 ;
++1 x1 +1 x2 >= 1 ;
++1 x2 +1 x3 >= 1 ;
++1 x1 +1 x3 >= 1 ;
+"""
+
+
+def _worker_records(epoch, status="optimal", cost=3):
+    """A minimal worker trace: header, decision, result."""
+    return [
+        {
+            "kind": "run_header",
+            "t": 0.0,
+            "epoch": epoch,
+            "solver": "bsolo",
+            "instance": "tri",
+            "options": {},
+        },
+        {"kind": "decision", "t": 0.5, "literal": 1, "level": 1},
+        {"kind": "result", "t": 1.0, "status": status, "cost": cost},
+    ]
+
+
+class TestMergeTraces:
+    """Alignment and tagging semantics of merge_traces."""
+
+    def test_epoch_alignment_shifts_later_worker(self):
+        merged = merge_traces(
+            [(0, _worker_records(100.0)), (1, _worker_records(102.5))]
+        )
+        by_worker = {}
+        for record in merged:
+            if record["kind"] == "run_header":
+                by_worker[record["worker_id"]] = record["t"]
+        assert by_worker[0] == 0.0
+        assert by_worker[1] == 2.5
+
+    def test_every_record_gains_worker_id_and_loses_epoch(self):
+        merged = merge_traces([(0, _worker_records(50.0))])
+        assert all("worker_id" in record for record in merged)
+        assert all("epoch" not in record for record in merged)
+
+    def test_records_sorted_by_aligned_time(self):
+        merged = merge_traces(
+            [(0, _worker_records(100.0)), (1, _worker_records(100.2))]
+        )
+        events = [r for r in merged if r["kind"] != WORKER_SUMMARY]
+        times = [r["t"] for r in events]
+        assert times == sorted(times)
+
+    def test_summary_records_synthesized_per_worker(self):
+        merged = merge_traces(
+            [(0, _worker_records(100.0)), (1, _worker_records(101.0))]
+        )
+        tails = [r for r in merged if r["kind"] == WORKER_SUMMARY]
+        assert [r["worker_id"] for r in tails] == [0, 1]
+        # derived from the worker's own header/result events
+        assert tails[0]["solver"] == "bsolo"
+        assert tails[0]["status"] == "optimal"
+        assert tails[0]["cost"] == 3
+        assert tails[0]["events"] == 3
+
+    def test_coordinator_summaries_override_derived(self):
+        merged = merge_traces(
+            [(0, _worker_records(100.0))],
+            summaries={
+                0: {
+                    "label": "bsolo-mis",
+                    "phase_times": {"propagate": 0.25},
+                    "elapsed": 1.25,
+                }
+            },
+        )
+        tail = [r for r in merged if r["kind"] == WORKER_SUMMARY][0]
+        assert tail["label"] == "bsolo-mis"  # coordinator knows the label
+        assert tail["phase_times"] == {"propagate": 0.25}
+        assert tail["elapsed"] == 1.25
+        assert tail["status"] == "optimal"  # derived fields still fill gaps
+
+    def test_missing_epoch_merges_at_offset_zero(self):
+        records = _worker_records(100.0)
+        for record in records:
+            record.pop("epoch", None)
+        merged = merge_traces([(0, records), (1, _worker_records(100.0))])
+        headers = {
+            r["worker_id"]: r["t"] for r in merged if r["kind"] == "run_header"
+        }
+        assert headers[0] == 0.0  # degraded gracefully, order preserved
+        assert headers[1] == 0.0
+
+    def test_empty_worker_trace_still_gets_summary(self):
+        merged = merge_traces([(0, []), (1, _worker_records(10.0))])
+        tails = [r for r in merged if r["kind"] == WORKER_SUMMARY]
+        assert [r["worker_id"] for r in tails] == [0, 1]
+        assert tails[0]["events"] == 0
+
+
+class TestWorkerSpansAndReport:
+    """worker_spans / straggler_summary / format_worker_report."""
+
+    def _merged(self):
+        return merge_traces(
+            [
+                (0, _worker_records(100.0)),
+                (1, _worker_records(103.0)),
+                (2, _worker_records(100.5)),
+            ],
+            summaries={
+                0: {"phase_times": {"propagate": 0.4}},
+                1: {"phase_times": {"lp": 0.9}},
+            },
+        )
+
+    def test_worker_spans_cover_all_workers(self):
+        spans = worker_spans(self._merged())
+        assert [span["worker_id"] for span in spans] == [0, 1, 2]
+        for span in spans:
+            assert span["events"] == 3
+            assert span["summary"] is not None
+            assert span["first_t"] <= span["last_t"]
+
+    def test_straggler_is_latest_finisher(self):
+        summary = straggler_summary(self._merged())
+        assert summary["workers"] == 3
+        assert summary["straggler"] == 1  # started 3s late, same runtime
+        assert summary["lag_seconds"] > 0
+        assert summary["end_t"] >= summary["median_end_t"]
+
+    def test_straggler_summary_empty_timeline(self):
+        summary = straggler_summary([])
+        assert summary == {
+            "workers": 0, "straggler": None, "lag_seconds": 0.0,
+        }
+
+    def test_format_worker_report_table(self):
+        text = format_worker_report(self._merged())
+        lines = text.splitlines()
+        assert "worker" in lines[0] and "top phases" in lines[0]
+        rows = [line for line in lines if line.startswith(("w0", "w1", "w2"))]
+        assert len(rows) == 3
+        assert "propagate 0.400s" in text
+        assert "lp 0.900s" in text
+        assert lines[-1].startswith("straggler: w1")
+
+    def test_format_worker_report_without_workers(self):
+        plain = [{"kind": "decision", "t": 0.0}]
+        assert "no worker events" in format_worker_report(plain)
+
+    def test_trace_summary_reports_workers(self):
+        summary = trace_summary(self._merged())
+        assert summary["workers"] == [0, 1, 2]
+        assert summary["status"] == "optimal"
+
+
+class TestMergeTraceFiles:
+    """File-level merge (the `obs merge` CLI path)."""
+
+    def test_merge_assigns_ids_in_input_order(self, tmp_path):
+        paths = []
+        for index, epoch in enumerate((200.0, 201.0)):
+            path = tmp_path / ("trace.w%d" % index)
+            write_records(str(path), _worker_records(epoch))
+            paths.append(str(path))
+        out = str(tmp_path / "merged.jsonl")
+        count = merge_trace_files(out, paths)
+        merged = read_trace(out)
+        assert count == len(merged) == 8  # 2 x (3 events + summary)
+        assert sorted({r["worker_id"] for r in merged}) == [0, 1]
+
+    def test_merged_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "trace.w0"
+        write_records(str(path), _worker_records(5.0))
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_files(out, [str(path)])
+        with open(out) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestPortfolioIntegration:
+    """End-to-end: a real two-worker portfolio writes one merged trace."""
+
+    def test_two_worker_run_produces_merged_timeline(self, tmp_path):
+        instance = parse(OPT_INSTANCE)
+        trace_path = str(tmp_path / "fleet.jsonl")
+        registry = MetricsRegistry()
+        solver = PortfolioSolver(
+            instance,
+            workers=2,
+            time_limit=60.0,
+            trace_path=trace_path,
+            metrics=registry,
+        )
+        result = solver.solve()
+        assert result.status == "optimal"
+        assert result.best_cost == 3
+
+        records = read_trace(trace_path)
+        assert records, "merged trace is empty"
+        workers = sorted({r["worker_id"] for r in records})
+        assert workers == [0, 1]
+        assert all("epoch" not in r for r in records)
+        tails = [r for r in records if r["kind"] == WORKER_SUMMARY]
+        assert [r["worker_id"] for r in tails] == [0, 1]
+        # profiling is forced on in tracing workers: phase totals arrive
+        assert any(tail["phase_times"] for tail in tails)
+        report = format_worker_report(records)
+        assert report.splitlines()[0].startswith("worker")
+
+        # worker metrics snapshots reached the coordinator registry
+        assert registry.get_value("solver_decisions") is not None
+        assert all(
+            "trace_path" in entry for entry in result.stats.workers
+        )

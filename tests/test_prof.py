@@ -1,0 +1,208 @@
+"""Tests for the hotspot profiler (repro.obs.prof).
+
+Covers lifecycle idempotence, phase attribution through the PhaseTimer
+listener, the collapsed-stack interchange format, the top-N tables, and
+end-to-end integration with a real solve.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import sys
+
+from repro import SolverOptions, parse, solve
+from repro.obs.prof import (
+    HotspotProfiler,
+    MAIN_PHASE,
+    format_hotspots,
+)
+from repro.obs.timers import PhaseTimer
+
+OPT_INSTANCE = """\
+* #variable= 3 #constraint= 3
+min: +1 x1 +2 x2 +3 x3 ;
++1 x1 +1 x2 >= 1 ;
++1 x2 +1 x3 >= 1 ;
++1 x1 +1 x3 >= 1 ;
+"""
+
+
+def _busy_leaf():
+    """A deliberately named leaf for the profiler to attribute."""
+    total = 0
+    for value in range(200):
+        total += value * value
+    return total
+
+
+def _busy_caller():
+    """Calls the leaf so the collapsed stack has depth >= 2."""
+    return sum(_busy_leaf() for _ in range(20))
+
+
+class TestLifecycle:
+    """start/stop/context-manager semantics."""
+
+    def test_start_stop_idempotent(self):
+        prof = HotspotProfiler()
+        prof.start()
+        prof.start()  # second start is a no-op
+        _busy_caller()
+        prof.stop()
+        prof.stop()  # second stop is a no-op
+        assert sys.getprofile() is None
+        assert prof.samples > 0
+
+    def test_context_manager_uninstalls_hook(self):
+        with HotspotProfiler() as prof:
+            _busy_caller()
+        assert sys.getprofile() is None
+        assert prof.total_seconds() > 0.0
+
+    def test_stop_clears_live_stack(self):
+        prof = HotspotProfiler()
+        prof.start()
+        _busy_caller()
+        prof.stop()
+        assert prof._stack == []
+        # restarting accumulates on top of the old totals
+        before = prof.total_seconds()
+        prof.start()
+        _busy_caller()
+        prof.stop()
+        assert prof.total_seconds() >= before
+
+
+class TestAttribution:
+    """Self-time lands on the right (phase, function) keys."""
+
+    def test_leaf_function_is_attributed(self):
+        with HotspotProfiler() as prof:
+            _busy_caller()
+        functions = {func for (_, func) in prof.self_times}
+        assert any(func.endswith(":_busy_leaf") for func in functions)
+
+    def test_samples_outside_phases_land_in_main(self):
+        with HotspotProfiler() as prof:
+            _busy_caller()
+        phases = {phase for (phase, _) in prof.self_times}
+        assert phases == {MAIN_PHASE}
+
+    def test_phase_listener_scopes_samples(self):
+        prof = HotspotProfiler()
+        timer = PhaseTimer(listener=prof.phase_listener)
+        prof.start()
+        with timer.phase("alpha"):
+            _busy_caller()
+        with timer.phase("beta"):
+            _busy_caller()
+        prof.stop()
+        phases = {phase for (phase, _) in prof.self_times}
+        assert "alpha" in phases
+        assert "beta" in phases
+
+    def test_phase_listener_restores_outer_phase(self):
+        prof = HotspotProfiler()
+        timer = PhaseTimer(listener=prof.phase_listener)
+        prof.start()
+        with timer.phase("outer"):
+            with timer.phase("outer.inner"):
+                _busy_caller()
+            _busy_caller()
+        _busy_caller()
+        prof.stop()
+        phases = {phase for (phase, _) in prof.self_times}
+        assert "outer.inner" in phases
+        assert "outer" in phases
+        assert MAIN_PHASE in phases
+
+
+class TestOutput:
+    """Collapsed stacks, top tables, and serialization."""
+
+    def _profiled(self):
+        with HotspotProfiler() as prof:
+            _busy_caller()
+        return prof
+
+    def test_collapsed_lines_format(self):
+        lines = self._profiled().collapsed_lines()
+        assert lines
+        pattern = re.compile(r"^[^ ]+(;[^ ]+)* \d+$")
+        for line in lines:
+            assert pattern.match(line), line
+        # every line opens with its phase
+        assert all(line.startswith(MAIN_PHASE + ";") for line in lines)
+        # deterministic ordering
+        assert lines == sorted(lines, key=lambda l: l.rsplit(" ", 1)[0])
+
+    def test_collapsed_stack_contains_caller_chain(self):
+        lines = self._profiled().collapsed_lines()
+        assert any(
+            ":_busy_caller;" in line and ":_busy_leaf" in line
+            for line in lines
+        )
+
+    def test_write_collapsed_to_file_and_stream(self, tmp_path):
+        prof = self._profiled()
+        path = tmp_path / "solve.folded"
+        count = prof.write_collapsed(str(path))
+        assert count == len(prof.collapsed_lines())
+        assert len(path.read_text().splitlines()) == count
+        stream = io.StringIO()
+        assert prof.write_collapsed(stream) == count
+        assert stream.getvalue() == path.read_text()
+
+    def test_top_orders_by_self_time(self):
+        prof = self._profiled()
+        table = prof.top(5)
+        for entries in table.values():
+            seconds = [s for _, s in entries]
+            assert seconds == sorted(seconds, reverse=True)
+            assert len(entries) <= 5
+
+    def test_format_top_renders_table(self):
+        prof = self._profiled()
+        text = prof.format_top(3)
+        assert text.startswith("hotspots:")
+        assert "samples" in text
+        assert "self-seconds" in text
+        assert format_hotspots(prof, 3) == text
+
+    def test_format_hotspots_empty_profiler(self):
+        prof = HotspotProfiler()
+        text = format_hotspots(prof)
+        assert text.startswith("hotspots: 0.000000s attributed over 0 samples")
+
+    def test_as_dict_shape(self):
+        data = self._profiled().as_dict()
+        assert data["samples"] > 0
+        assert data["total_seconds"] > 0
+        assert MAIN_PHASE in data["phases"]
+        entry = data["phases"][MAIN_PHASE][0]
+        assert set(entry) == {"function", "seconds"}
+
+
+class TestSolverIntegration:
+    """A profiled solve names real solver functions per phase."""
+
+    def test_solve_attributes_solver_functions(self):
+        instance = parse(OPT_INSTANCE)
+        prof = HotspotProfiler()
+        result = solve(
+            instance, SolverOptions(profile=True, hotspot=prof)
+        )
+        assert result.status == "optimal"
+        assert sys.getprofile() is None  # solver uninstalled the hook
+        functions = {func for (_, func) in prof.self_times}
+        assert any(func.startswith("core.solver:") for func in functions)
+        # phase scoping rode along with the profile timer
+        phases = {phase for (phase, _) in prof.self_times}
+        assert phases & {"propagate", "branching", "analyze", "preprocess"}
+
+    def test_unprofiled_solve_leaves_hook_alone(self):
+        instance = parse(OPT_INSTANCE)
+        result = solve(instance)
+        assert result.status == "optimal"
+        assert sys.getprofile() is None
