@@ -28,12 +28,13 @@ from .api import (
     UnknownSolverError,
     available_solvers,
     canonical_name,
+    make_session,
     make_solver,
     register_solver,
     solve,
     solver_descriptions,
 )
-from .core.options import SolverOptions
+from .core.options import SolverOptions, UnsupportedOptionError
 from .core.stats import SolverStats
 from .core.result import (
     OPTIMAL,
@@ -56,13 +57,24 @@ from .pb.builder import PBModel
 from .pb.constraints import Constraint
 from .pb.instance import PBInstance
 from .pb.objective import Objective
-from .pb.opb import parse, parse_file, write, write_file
+from .incremental import SessionStats, SolverSession
+from .pb.opb import (
+    parse,
+    parse_file,
+    parse_wbo,
+    parse_wbo_file,
+    write,
+    write_file,
+    write_wbo,
+    write_wbo_file,
+)
 from .portfolio import (
     PortfolioSolver,
     PortfolioStats,
     WorkerSpec,
     solve_portfolio,
 )
+from .wbo import SoftConstraint, WBOInstance, WBOSolver, solve_wbo
 
 __version__ = "1.0.0"
 
@@ -79,27 +91,39 @@ __all__ = [
     "PortfolioSolver",
     "PortfolioStats",
     "SATISFIABLE",
+    "SessionStats",
+    "SoftConstraint",
     "SolveResult",
     "SolverOptions",
+    "SolverSession",
     "SolverStats",
     "Tracer",
     "UNKNOWN",
     "UNSATISFIABLE",
     "UnknownSolverError",
+    "UnsupportedOptionError",
+    "WBOInstance",
+    "WBOSolver",
     "WorkerSpec",
     "__version__",
     "available_solvers",
     "canonical_name",
     "format_profile",
     "format_progress",
+    "make_session",
     "make_solver",
     "parse",
     "parse_file",
+    "parse_wbo",
+    "parse_wbo_file",
     "read_trace",
     "register_solver",
     "solve",
     "solve_portfolio",
+    "solve_wbo",
     "solver_descriptions",
     "write",
     "write_file",
+    "write_wbo",
+    "write_wbo_file",
 ]

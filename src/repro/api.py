@@ -21,16 +21,26 @@ harness, and the portfolio's worker specs all resolve names through, so
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .baselines.brute_force import BruteForceSolver
 from .baselines.covering_bnb import CoveringBnBSolver
 from .baselines.cutting_planes import CuttingPlanesSolver
 from .baselines.linear_search import LinearSearchSolver
 from .baselines.milp import MILPSolver
-from .core.options import HYBRID, LGR, LPR, MIS, PLAIN, SolverOptions
+from .core.options import (
+    HYBRID,
+    LGR,
+    LPR,
+    MIS,
+    PLAIN,
+    SolverOptions,
+    UnsupportedOptionError,
+)
 from .core.result import SolveResult
 from .core.solver import BsoloSolver
+from .incremental import SolverSession, make_session
 from .pb.instance import PBInstance
 
 #: name -> (factory, canonical_name, description)
@@ -94,8 +104,18 @@ def make_solver(
     instance: PBInstance,
     solver: str = "bsolo",
     options: Optional[SolverOptions] = None,
+    *,
+    assumptions: Optional[Sequence[int]] = None,
 ):
-    """Instantiate a registered solver for one instance."""
+    """Instantiate a registered solver for one instance.
+
+    ``assumptions`` binds literals the solve must respect (see
+    :meth:`repro.core.solver.BsoloSolver.solve`).  Solvers advertise
+    support via a truthy ``supports_assumptions`` attribute plus a
+    ``set_assumptions`` method; requesting assumptions from any other
+    solver raises :class:`UnsupportedOptionError` — never a silent
+    unconditioned solve.
+    """
     try:
         factory = _REGISTRY[solver][0]
     except KeyError:
@@ -103,13 +123,36 @@ def make_solver(
             "unknown solver %r (choose from %s)"
             % (solver, ", ".join(available_solvers(include_aliases=True)))
         ) from None
-    return factory(instance, options)
+    built = factory(instance, options)
+    if assumptions is not None:
+        if not getattr(built, "supports_assumptions", False) or not hasattr(
+            built, "set_assumptions"
+        ):
+            raise UnsupportedOptionError(
+                "solver %r does not support assumptions=" % solver
+            )
+        built.set_assumptions(list(assumptions))
+    return built
+
+
+#: Old positional order of :func:`solve`'s tail parameters, for the
+#: one-release deprecation shim below.
+_SOLVE_POSITIONAL_SHIM = (
+    "timeout",
+    "propagation",
+    "tracer",
+    "profile",
+    "metrics",
+    "hotspot",
+)
 
 
 def solve(
     instance: PBInstance,
     solver: str = "bsolo",
     options: Optional[SolverOptions] = None,
+    *deprecated_positional,
+    assumptions: Optional[Sequence[int]] = None,
     timeout: Optional[float] = None,
     propagation: Optional[str] = None,
     tracer=None,
@@ -119,23 +162,62 @@ def solve(
 ) -> SolveResult:
     """Solve ``instance`` with any registered solver; the façade.
 
-    ``timeout`` (seconds) overrides ``options.time_limit`` when given;
-    ``propagation`` overrides ``options.propagation`` (a backend name
-    from :func:`repro.engine.available_engines`).  The observability
+    ``assumptions`` are literals the reported result must respect
+    (solvers without assumption support raise
+    :class:`UnsupportedOptionError`).  ``timeout`` (seconds) overrides
+    ``options.time_limit`` when given; ``propagation`` overrides
+    ``options.propagation`` (a backend name from
+    :func:`repro.engine.available_engines`).  The observability
     instruments — ``tracer`` (a :class:`repro.obs.Tracer`), ``profile``
     (phase timing on/off), ``metrics`` (a
     :class:`repro.obs.MetricsRegistry`) and ``hotspot`` (a
     :class:`repro.obs.HotspotProfiler`) — likewise override the
     corresponding options fields when given, so instrumented one-off
-    runs need no explicit :class:`SolverOptions`.  For backward
-    compatibility with the original ``solve(instance, options)``
-    signature, a :class:`SolverOptions` passed as the second positional
-    argument selects the default bsolo solver with those options.
+    runs need no explicit :class:`SolverOptions`.
+
+    All of the above are keyword-only.  Positional callers from the old
+    ``solve(instance, solver, options, timeout, propagation, ...)``
+    signature still work for one release behind a
+    :class:`DeprecationWarning`.  For backward compatibility with the
+    original ``solve(instance, options)`` signature, a
+    :class:`SolverOptions` passed as the second positional argument
+    selects the default bsolo solver with those options.
     """
     if isinstance(solver, SolverOptions):
         if options is not None:
             raise TypeError("options passed twice")
         solver, options = "bsolo", solver
+    if deprecated_positional:
+        if len(deprecated_positional) > len(_SOLVE_POSITIONAL_SHIM):
+            raise TypeError(
+                "solve() takes at most %d positional arguments (%d given)"
+                % (3 + len(_SOLVE_POSITIONAL_SHIM), 3 + len(deprecated_positional))
+            )
+        warnings.warn(
+            "passing instrument arguments to repro.api.solve() positionally "
+            "is deprecated and will be removed next release; use keywords "
+            "(timeout=, propagation=, tracer=, profile=, metrics=, hotspot=)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        provided = {
+            "timeout": timeout,
+            "propagation": propagation,
+            "tracer": tracer,
+            "profile": profile,
+            "metrics": metrics,
+            "hotspot": hotspot,
+        }
+        for name, value in zip(_SOLVE_POSITIONAL_SHIM, deprecated_positional):
+            if provided[name] is not None:
+                raise TypeError("solve() got %s= twice" % name)
+            provided[name] = value
+        timeout = provided["timeout"]
+        propagation = provided["propagation"]
+        tracer = provided["tracer"]
+        profile = provided["profile"]
+        metrics = provided["metrics"]
+        hotspot = provided["hotspot"]
     overrides = {}
     if timeout is not None:
         overrides["time_limit"] = timeout
@@ -151,7 +233,9 @@ def solve(
         overrides["hotspot"] = hotspot
     if overrides:
         options = (options or SolverOptions()).replace(**overrides)
-    return make_solver(instance, solver, options).solve()
+    return make_solver(
+        instance, solver, options, assumptions=assumptions
+    ).solve()
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +299,11 @@ register_solver(
     "brute-force", BruteForceSolver,
     "exhaustive enumeration oracle (small instances only)",
 )
+
+# Alias audit: "pbs", "galena", "cplex" and "scherzo" are the paper's
+# tool names for the corresponding baselines — supported on purpose, not
+# deprecated.  The repository's only *deprecated* alias
+# (repro.lp.integer_floor_bound) finished its window and was removed.
 
 
 def _portfolio_factory(instance: PBInstance, options: Optional[SolverOptions]):

@@ -12,7 +12,9 @@ emit instances with the same constraint structure (see DESIGN.md section
   technology mapping ([18]);
 * :func:`generate_scheduling` / :func:`scheduling_suite` — tight PB-SAT
   round-robin scheduling ([16], no cost function);
-* :func:`generate_random` / :func:`generate_planted` — fuzzing inputs.
+* :func:`generate_random` / :func:`generate_planted` — fuzzing inputs;
+* :mod:`repro.benchgen.streams` — perturbation streams for incremental
+  sessions and random WBO (soft-constraint) families.
 """
 
 from .acc import generate_scheduling, scheduling_suite
@@ -20,9 +22,24 @@ from .export import export_suite, export_table1_suite
 from .grout import generate_routing, routing_suite
 from .ptl import generate_ptl_mapping, ptl_suite
 from .random_pb import generate_planted, generate_random
+from .streams import (
+    STREAM_BUILDERS,
+    PerturbationStream,
+    StreamStep,
+    assumption_stream,
+    constraint_stream,
+    generate_random_wbo,
+    objective_stream,
+    wbo_suite,
+)
 from .synthesis import covering_suite, generate_covering
 
 __all__ = [
+    "PerturbationStream",
+    "STREAM_BUILDERS",
+    "StreamStep",
+    "assumption_stream",
+    "constraint_stream",
     "covering_suite",
     "export_suite",
     "export_table1_suite",
@@ -30,9 +47,12 @@ __all__ = [
     "generate_planted",
     "generate_ptl_mapping",
     "generate_random",
+    "generate_random_wbo",
     "generate_routing",
     "generate_scheduling",
+    "objective_stream",
     "ptl_suite",
     "routing_suite",
     "scheduling_suite",
+    "wbo_suite",
 ]

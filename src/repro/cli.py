@@ -50,7 +50,28 @@ def build_parser() -> argparse.ArgumentParser:
                "Table 1 aliases: pbs, galena, cplex, scherzo"
                % (solver_lines, engine_lines),
     )
-    parser.add_argument("instance", help="path to an .opb file")
+    parser.add_argument(
+        "instance", help="path to an .opb (or, with --wbo, .wbo) file"
+    )
+    parser.add_argument(
+        "--wbo",
+        action="store_true",
+        help=(
+            "treat the instance as a WBO soft-constraint file and "
+            "minimize the total violation weight (implied by a .wbo "
+            "extension)"
+        ),
+    )
+    parser.add_argument(
+        "--wbo-mode",
+        default="direct",
+        choices=["direct", "core-guided"],
+        metavar="MODE",
+        help=(
+            "WBO strategy: 'direct' PBO compilation or the session-driven "
+            "unsat-'core-guided' loop (default: direct)"
+        ),
+    )
     parser.add_argument(
         "--solver",
         default="bsolo-lpr",
@@ -231,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--proof requires a bsolo-* solver (solver %r does not log "
             "derivations)" % args.solver
         )
+    if args.wbo or args.instance.endswith(".wbo"):
+        return _wbo_main(parser, args)
     instance = parse_file(args.instance)
 
     registry = None
@@ -364,6 +387,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             "solver": solver_label,
             "status": result.status,
             "cost": result.best_cost,
+            "seconds": round(seconds, 6),
+            "stats": result.stats.as_dict(),
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if result.solved else 1
+
+
+def _wbo_main(parser: argparse.ArgumentParser, args) -> int:
+    """The ``--wbo`` path of :func:`main`: soft-constraint solving.
+
+    Supports the core flags (``--time-limit``, ``--propagation``,
+    ``--wbo-mode``, ``--stats``, ``--stats-json``, ``--model``); the
+    single-solver instruments and the portfolio do not apply to the
+    two-level WBO search and are rejected rather than ignored.
+    """
+    import time as _time
+
+    from .core.options import SolverOptions
+    from .pb.opb import parse_wbo_file
+    from .wbo import WBOSolver
+
+    for flag, name in (
+        (args.portfolio, "--portfolio"),
+        (args.proof, "--proof"),
+        (args.trace, "--trace"),
+        (args.hotspot, "--hotspot"),
+        (args.metrics, "--metrics"),
+    ):
+        if flag:
+            parser.error("%s is not supported with --wbo" % name)
+    try:
+        wbo = parse_wbo_file(args.instance)
+    except OSError as exc:
+        parser.error("cannot read instance: %s" % exc)
+    options = SolverOptions(
+        time_limit=args.time_limit,
+        propagation=args.propagation,
+        lb_schedule=args.lb_schedule,
+        incremental_bounds=not args.cold_bounds,
+    )
+    solver = WBOSolver(wbo, options, mode=args.wbo_mode)
+    started = _time.monotonic()
+    result = solver.solve()
+    seconds = _time.monotonic() - started
+    print("c wbo mode=%s hard=%d soft=%d cores=%d"
+          % (args.wbo_mode, len(wbo.hard), len(wbo.soft), len(solver.cores)))
+    print("s %s" % result.status.upper())
+    if result.cost is not None:
+        print("o %d" % result.cost)
+    if result.violated_soft is not None:
+        print("c violated_soft %s"
+              % (" ".join(map(str, result.violated_soft)) or "-"))
+    if args.model and result.best_assignment:
+        literals = [
+            ("x%d" % var) if value else ("-x%d" % var)
+            for var, value in sorted(result.best_assignment.items())
+        ]
+        print("v " + " ".join(literals))
+    print("c time %.3fs" % seconds)
+    if args.stats:
+        _print_stats(result.stats.as_dict())
+    if args.stats_json:
+        payload = {
+            "instance": args.instance,
+            "solver": result.solver_name,
+            "status": result.status,
+            "cost": result.cost,
+            "violated_soft": list(result.violated_soft or ()),
             "seconds": round(seconds, 6),
             "stats": result.stats.as_dict(),
         }

@@ -27,6 +27,16 @@ ADAPTIVE = "adaptive"
 _SCHEDULES = (STATIC, ADAPTIVE)
 
 
+class UnsupportedOptionError(ValueError):
+    """A feature was requested from a solver that cannot honor it.
+
+    Raised uniformly by the façade layers (``repro.api``, the sessions,
+    the WBO front end) instead of silently ignoring the request — e.g.
+    ``assumptions=`` passed to a baseline without assumption support, or
+    ``proof=`` passed to an incremental session.
+    """
+
+
 class SolverOptions:
     """All tunables of :class:`~repro.core.solver.BsoloSolver`."""
 

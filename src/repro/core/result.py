@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .stats import SolverStats
 
@@ -20,7 +20,15 @@ UNKNOWN = "unknown"
 class SolveResult:
     """Result of a PBO solve."""
 
-    __slots__ = ("status", "best_cost", "best_assignment", "stats", "solver_name")
+    __slots__ = (
+        "status",
+        "best_cost",
+        "best_assignment",
+        "stats",
+        "solver_name",
+        "violated_soft",
+        "core",
+    )
 
     def __init__(
         self,
@@ -29,6 +37,8 @@ class SolveResult:
         best_assignment: Optional[Dict[int, int]] = None,
         stats: Optional[SolverStats] = None,
         solver_name: str = "",
+        violated_soft: Optional[Tuple[int, ...]] = None,
+        core: Optional[Tuple[int, ...]] = None,
     ):
         self.status = status
         #: Objective value of the best solution found (offset included);
@@ -37,6 +47,14 @@ class SolveResult:
         self.best_assignment = best_assignment
         self.stats = stats or SolverStats()
         self.solver_name = solver_name
+        #: For WBO solves: indices of the soft constraints the reported
+        #: solution violates (``None`` for ordinary PBO results).
+        self.violated_soft = violated_soft
+        #: For UNSATISFIABLE session solves under assumptions: assumption
+        #: literals sufficient for the contradiction (an unminimized
+        #: core; empty tuple = unsatisfiable regardless of assumptions).
+        #: ``None`` whenever a solution exists or no session was involved.
+        self.core = core
 
     @property
     def model(self) -> Optional[Dict[int, int]]:
@@ -44,6 +62,14 @@ class SolveResult:
         be None even for a known ``best_cost`` when the witnessing
         solution was found by *another* portfolio worker."""
         return self.best_assignment
+
+    @property
+    def cost(self) -> Optional[int]:
+        """Normalized cost accessor: the objective value for PBO solves
+        and the total violation cost for WBO solves (both are
+        ``best_cost``; this name is the shape shared by the WBO front
+        end and the session API)."""
+        return self.best_cost
 
     @property
     def is_optimal(self) -> bool:

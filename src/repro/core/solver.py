@@ -71,16 +71,79 @@ from .stats import SolverStats
 logger = logging.getLogger("repro.bsolo")
 
 
+def make_bounders(
+    instance: PBInstance,
+    options: SolverOptions,
+    metrics=None,
+) -> Tuple[Optional[MISBound], Optional[object]]:
+    """Build the ``(prefilter, bounder)`` pair for ``options.lower_bound``.
+
+    Shared between one-shot solves and incremental sessions (which
+    rebuild their bounders whenever the constraint set or objective
+    changes structurally).  The prefilter is non-None only for the
+    ``hybrid`` method; both slots are None for ``plain`` or a constant
+    objective (nothing to bound).
+    """
+    method = options.lower_bound
+    if method == PLAIN or instance.objective.is_constant:
+        return None, None
+    if method == MIS:
+        return None, MISBound(instance, metrics=metrics)
+    if method == LGR:
+        return None, LagrangianBound(
+            instance,
+            SubgradientOptions(max_iterations=options.lgr_iterations),
+        )
+    prefilter = (
+        MISBound(instance, metrics=metrics) if method == HYBRID else None
+    )
+    return prefilter, LPRelaxationBound(
+        instance,
+        max_iterations=options.lp_max_iterations,
+        warm=options.incremental_bounds,
+        metrics=metrics,
+    )
+
+
 class BsoloSolver:
-    """One-shot solver for a :class:`~repro.pb.instance.PBInstance`."""
+    """One-shot solver for a :class:`~repro.pb.instance.PBInstance`.
+
+    With ``session=`` (internal; see :class:`repro.incremental.SolverSession`)
+    the solver runs one *call* of a persistent session instead: the
+    propagation engine, VSIDS activity, restart/schedule state and the
+    bounders are borrowed from the session rather than built, constraints
+    are assumed to be loaded already, and the search runs entirely above
+    a *guard decision level* so that no assignment ever becomes a
+    permanent level-0 fact (level 0 must stay empty between calls for
+    ``push``/``pop`` to be able to undo everything).  Assumptions are
+    then asserted as decision levels (MiniSat style) instead of root
+    assignments, which keeps learned clauses sound across calls: conflict
+    analysis drops level-0 literals, so a level-0 assumption would taint
+    every clause learned under it.
+    """
 
     name = "bsolo"
 
-    def __init__(self, instance: PBInstance, options: Optional[SolverOptions] = None):
+    #: The façade checks this before forwarding ``assumptions=``;
+    #: baselines without it raise ``UnsupportedOptionError`` instead of
+    #: silently ignoring the literals.
+    supports_assumptions = True
+
+    def __init__(
+        self,
+        instance: PBInstance,
+        options: Optional[SolverOptions] = None,
+        *,
+        session=None,
+    ):
         self._instance = instance
         self._options = options or SolverOptions()
         self._objective = instance.objective
         self.stats = SolverStats()
+        self._session = session
+        #: Decision level the search can never backtrack below: 0 for
+        #: one-shot solves, 1 (the guard level) for session calls.
+        self._root_level = 0 if session is None else 1
 
         tracer = self._options.tracer
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -101,33 +164,44 @@ class BsoloSolver:
             self._timer = NULL_TIMER
         if self._m_enabled:
             self._bind_metrics()
-        self._propagator = make_engine(
-            self._options.propagation,
-            instance.num_variables,
-            tracer=self._tracer if self._tracer.enabled else None,
-            metrics=self._metrics,
-        )
-        self._activity = VSIDSActivity(
-            instance.num_variables, decay=self._options.vsids_decay
-        )
+        if session is not None:
+            # Borrow the session's persistent state: engine (constraints
+            # pre-loaded), activity, restart/bound-schedule state and the
+            # (already trail-attached) bounders survive across calls.
+            self._propagator = session.propagator
+            self._activity = session.activity
+            self._restart_scheduler = session.restart_scheduler
+            self._schedule = session.schedule
+            self._prefilter = session.prefilter
+            self._bounder = session.bounder
+        else:
+            self._propagator = make_engine(
+                self._options.propagation,
+                instance.num_variables,
+                tracer=self._tracer if self._tracer.enabled else None,
+                metrics=self._metrics,
+            )
+            self._activity = VSIDSActivity(
+                instance.num_variables, decay=self._options.vsids_decay
+            )
+            self._restart_scheduler = (
+                RestartScheduler(self._options.restart_interval)
+                if self._options.restarts
+                else None
+            )
+            self._prefilter = None  # set by _make_bounder for "hybrid"
+            self._bounder = self._make_bounder()
+            self._schedule = make_schedule(self._options)
         self._brancher = Brancher(
             self._activity,
             lp_guided=self._options.lp_guided_branching
             and self._options.lower_bound == LPR,
             phase_saving=self._options.phase_saving,
         )
-        self._restart_scheduler = (
-            RestartScheduler(self._options.restart_interval)
-            if self._options.restarts
-            else None
-        )
         self._cut_generator = CutGenerator(
             instance, cardinality_cuts=self._options.cardinality_cuts
         )
-        self._prefilter = None  # set by _make_bounder for "hybrid"
-        self._bounder = self._make_bounder()
-        self._schedule = make_schedule(self._options)
-        if self._options.incremental_bounds:
+        if session is None and self._options.incremental_bounds:
             # Feed trail deltas to the bounders that can exploit them
             # (incremental MIS cache, warm-started LP).
             for bounder in (self._prefilter, self._bounder):
@@ -157,6 +231,12 @@ class BsoloSolver:
         self._poll_countdown = self._options.poll_interval
         self._deadline: Optional[float] = None
         self._assumptions: List[int] = []
+        #: Literals bound ahead of time through ``set_assumptions`` (the
+        #: registry path); used when ``solve()`` gets none of its own.
+        self._preset_assumptions: Optional[List[int]] = None
+        #: Session calls: assumption prefix responsible for an
+        #: UNSATISFIABLE outcome (an unminimized core).
+        self._assumption_core: Optional[Tuple[int, ...]] = None
         #: Most recent lower-bound estimate (path + bound), for progress.
         self._last_lower: Optional[int] = None
         #: Which bounder produced the last bound (trace attribution).
@@ -202,24 +282,10 @@ class BsoloSolver:
 
     # ------------------------------------------------------------------
     def _make_bounder(self):
-        method = self._options.lower_bound
-        if method == PLAIN or self._objective.is_constant:
-            return None
-        if method == MIS:
-            return MISBound(self._instance, metrics=self._metrics)
-        if method == LGR:
-            return LagrangianBound(
-                self._instance,
-                SubgradientOptions(max_iterations=self._options.lgr_iterations),
-            )
-        if method == HYBRID:
-            self._prefilter = MISBound(self._instance, metrics=self._metrics)
-        return LPRelaxationBound(
-            self._instance,
-            max_iterations=self._options.lp_max_iterations,
-            warm=self._options.incremental_bounds,
-            metrics=self._metrics,
+        self._prefilter, bounder = make_bounders(
+            self._instance, self._options, metrics=self._metrics
         )
+        return bounder
 
     # ------------------------------------------------------------------
     # Public API
@@ -233,6 +299,8 @@ class BsoloSolver:
         assumptions").
         """
         start = time.monotonic()
+        if assumptions is None:
+            assumptions = self._preset_assumptions
         self._assumptions = list(assumptions or [])
         if self._options.time_limit is not None:
             self._deadline = start + self._options.time_limit
@@ -268,6 +336,12 @@ class BsoloSolver:
             tracer.flush()
         logger.debug("solve finished: %r (%s)", result, self.stats)
         return result
+
+    def set_assumptions(self, literals: Sequence[int]) -> None:
+        """Bind assumption literals ahead of :meth:`solve` — the registry
+        constructors' first-class ``assumptions=`` path.  A later
+        ``solve(assumptions=...)`` call overrides the preset."""
+        self._preset_assumptions = list(literals)
 
     def set_upper_bound(self, cost: int) -> bool:
         """Inform the search that a solution of ``cost`` (offset
@@ -320,6 +394,21 @@ class BsoloSolver:
         """Load constraints, assumptions and preprocessing; a returned
         result means the search never starts (root conflict)."""
         propagator = self._propagator
+        if self._session is not None:
+            # Session call: constraints are already attached to the
+            # persistent engine (preprocessing/covering reductions are
+            # forced off by the session — both assert permanent level-0
+            # facts, which must not exist between calls).  Open the guard
+            # level, then re-queue every constraint: the root implications
+            # discovered last call were undone by the end-of-call
+            # backtrack(0) and the engine's propagate is demand-driven.
+            for literal in self._assumptions:
+                var = literal if literal > 0 else -literal
+                if var > self._instance.num_variables or var < 1:
+                    raise ValueError("assumption literal %d out of range" % literal)
+            propagator.decide(self._session.guard_var)
+            propagator.reschedule_all()
+            return None
         proof = self._proof
         if proof is not None:
             proof.start(self._instance)
@@ -441,15 +530,41 @@ class BsoloSolver:
                 if (
                     self._restart_scheduler is not None
                     and self._restart_scheduler.on_conflict()
-                    and propagator.trail.decision_level > 0
+                    and propagator.trail.decision_level > self._root_level
                 ):
                     self.stats.restarts += 1
                     if self._m_enabled:
                         self._m_restarts.inc()
                     if tracer.enabled:
                         tracer.emit(RestartEvent(conflicts=self.stats.conflicts))
-                    propagator.backtrack(0)
+                    # Session calls restart to the guard level, never to 0.
+                    propagator.backtrack(self._root_level)
                 continue
+
+            if self._session is not None and self._assumptions:
+                # Assumptions-as-decision-levels: assert the next pending
+                # assumption before branching (and before treating a full
+                # trail as a solution — a falsified assumption ends the
+                # call).  Whenever an assumption is still unassigned there
+                # are no free decisions above it, so a false assumption
+                # literal is *entailed* false by the database plus the
+                # earlier assumptions: the prefix up to and including it
+                # is a valid (unminimized) core.
+                pending = None
+                trail = propagator.trail
+                for position, literal in enumerate(self._assumptions):
+                    if trail.literal_is_true(literal):
+                        continue
+                    if trail.literal_is_false(literal):
+                        self._assumption_core = tuple(
+                            self._assumptions[: position + 1]
+                        )
+                        return self._finish()
+                    pending = literal
+                    break
+                if pending is not None:
+                    propagator.decide(pending)
+                    continue
 
             if propagator.trail.all_assigned():
                 outcome = self._on_solution()
@@ -786,6 +901,10 @@ class BsoloSolver:
     # ------------------------------------------------------------------
     def _on_solution(self) -> Optional[SolveResult]:
         assignment = self._propagator.model()
+        if self._session is not None:
+            # The guard variable is search scaffolding, not part of the
+            # instance: results, callbacks and cuts see real variables.
+            assignment.pop(self._session.guard_var, None)
         cost = self._objective.path_cost(assignment)
         self.stats.solutions_found += 1
         improved = cost < self._upper
@@ -829,6 +948,17 @@ class BsoloSolver:
                 solver_name=self.name,
             )
 
+        if self._session is not None:
+            # Everything learned from here on depends on the incumbent
+            # (eq. 10/11-13 cuts, w_pp, and every clause resolved against
+            # them) and is therefore solve-local: the session snapshots
+            # the currently retainable learned set and discards the rest
+            # at end of call.  Constraints learned *before* the first
+            # solution are implied by the instance plus the active frames
+            # (no incumbent-dependent constraint existed yet) and may be
+            # kept across calls.
+            self._session.on_solve_local(self._propagator)
+
         if improved and self._options.upper_bound_cuts:
             proof = self._proof
             self._timer.push("cuts")
@@ -856,7 +986,11 @@ class BsoloSolver:
                     continue  # uncertifiable cut: skip rather than trust
                 cuts.append(cut)
             for cut in cuts:
-                self._propagator.add_constraint(cut)
+                # Session calls flag cuts as learned so the end-of-call
+                # cleanup can delete them (they are incumbent-relative).
+                self._propagator.add_constraint(
+                    cut, learned=self._session is not None
+                )
                 self.stats.cuts_added += 1
                 if self._m_enabled:
                     self._m_cuts.inc()
@@ -891,7 +1025,13 @@ class BsoloSolver:
         if not literals:
             return False
         level = highest_level(literals, trail)
-        if level == 0:
+        if level <= self._root_level:
+            # One-shot solves: a level-0 conflict means the search space
+            # is exhausted.  Session calls: level 0 is empty and the
+            # guard variable appears in no constraint, so every guard
+            # level implication is entailed by the database alone — a
+            # conflict entirely at the guard level is a database-level
+            # contradiction, exhausted all the same.
             return False
         if level < trail.decision_level:
             # Bound-conflict clauses may not touch the deepest levels:
@@ -925,7 +1065,14 @@ class BsoloSolver:
                     learned_size=len(analysis.learned_literals),
                 )
             )
-        self._propagator.backtrack(analysis.backtrack_level)
+        # Session calls clamp the backjump to the guard level: asserting
+        # literals then land at level 1 (implied by the learned clause)
+        # instead of becoming permanent level-0 facts that pop() could
+        # never undo.  The conflict level is > root_level here, so the
+        # asserting literal is always unassigned after the backjump.
+        self._propagator.backtrack(
+            max(analysis.backtrack_level, self._root_level)
+        )
         learned = Constraint.clause(analysis.learned_literals)
         if proof is not None:
             # First-UIP clauses are RUP against the proof database: the
@@ -980,8 +1127,15 @@ class BsoloSolver:
         if not indices:
             return
         cutoff = indices[len(indices) // 2]
+        # Session frame constraints ride in the database as learned (so
+        # pop() can delete them) but must never be garbage-collected.
+        protected = (
+            self._session.protected_ids if self._session is not None else None
+        )
         self._propagator.reduce_learned(
-            lambda stored: len(stored.constraint) <= 2 or stored.index > cutoff
+            lambda stored: (protected is not None and id(stored) in protected)
+            or len(stored.constraint) <= 2
+            or stored.index > cutoff
         )
 
     # ------------------------------------------------------------------
@@ -1041,8 +1195,18 @@ class BsoloSolver:
                 stats=self.stats,
                 solver_name=self.name,
             )
+        core: Optional[Tuple[int, ...]] = None
+        if self._session is not None:
+            # A falsified assumption yields its prefix as the core; pure
+            # exhaustion happened at the guard level, i.e. independent of
+            # the assumptions: the empty core.
+            core = (
+                self._assumption_core
+                if self._assumption_core is not None
+                else ()
+            )
         return SolveResult(
-            UNSATISFIABLE, stats=self.stats, solver_name=self.name
+            UNSATISFIABLE, stats=self.stats, solver_name=self.name, core=core
         )
 
     def _timeout(self) -> SolveResult:

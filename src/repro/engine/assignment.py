@@ -74,6 +74,18 @@ class Trail:
         self._deltas.append(delta)
         return delta
 
+    def unregister_delta(self, delta: TrailDelta) -> None:
+        """Stop feeding ``delta`` (its consumer was rebuilt or dropped).
+
+        Sessions rebuild their bounders on ``set_objective``/``pop``;
+        without unregistration every push/pop would keep updating the
+        dead feeds forever.  Unknown feeds are ignored.
+        """
+        try:
+            self._deltas.remove(delta)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments export --directory instances/
     python -m repro.experiments propbench --output BENCH_propagation.json
     python -m repro.experiments lbbench --output BENCH_lowerbound.json
+    python -m repro.experiments increbench --output BENCH_incremental.json
     python -m repro.experiments certsmoke --families mcnc grout
 """
 
@@ -23,6 +24,12 @@ from .ablations import format_ablations, run_ablations
 from .bounds import bound_quality, format_bound_quality
 from .certsmoke import FAMILIES as CERTSMOKE_FAMILIES
 from .certsmoke import format_certsmoke, run_certsmoke
+from .increbench import FAMILIES as INCREBENCH_FAMILIES
+from .increbench import (
+    format_summary as format_increbench_summary,
+    run_increbench,
+    write_report as write_increbench_report,
+)
 from .lbbench import FAMILIES as LBBENCH_FAMILIES
 from .lbbench import (
     format_summary as format_lbbench_summary,
@@ -142,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lbbench.add_argument("--output", default="BENCH_lowerbound.json")
 
+    increbench = sub.add_parser(
+        "increbench",
+        help="race warm solve_under sessions against cold re-solves",
+    )
+    increbench.add_argument(
+        "--families", nargs="+", default=list(INCREBENCH_FAMILIES),
+        choices=INCREBENCH_FAMILIES,
+    )
+    increbench.add_argument("--count", type=int, default=3)
+    increbench.add_argument("--scale", type=float, default=1.0)
+    increbench.add_argument("--seed", type=int, default=2000)
+    increbench.add_argument(
+        "--lower-bound", default="hybrid",
+        choices=["plain", "mis", "lpr", "hybrid"],
+        help="bounder used by both the warm session and the cold solves",
+    )
+    increbench.add_argument(
+        "--quick", action="store_true",
+        help="tiny instances and budgets (CI smoke configuration)",
+    )
+    increbench.add_argument("--output", default="BENCH_incremental.json")
+
     certsmoke = sub.add_parser(
         "certsmoke",
         help="solve with proof logging, then independently re-check every proof",
@@ -249,6 +278,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_lbbench_summary(report))
         path = write_lbbench_report(report, args.output)
         print("wrote %s" % path)
+    elif args.command == "increbench":
+        if args.quick:
+            args.count, args.scale = 2, 0.4
+        report = run_increbench(
+            families=args.families,
+            count=args.count,
+            scale=args.scale,
+            seed=args.seed,
+            lower_bound=args.lower_bound,
+        )
+        print(format_increbench_summary(report))
+        path = write_increbench_report(report, args.output)
+        print("wrote %s" % path)
+        if not report["lockstep_all"]:
+            return 1
     elif args.command == "certsmoke":
         records = run_certsmoke(
             families=args.families,

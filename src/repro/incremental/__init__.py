@@ -1,0 +1,15 @@
+"""Incremental solving sessions (persistent engine + warm bound state).
+
+Public surface:
+
+* :class:`SolverSession` — ``solve_under(assumptions)``, ``push``/
+  ``pop`` constraint frames, ``add_constraint``/``set_objective``
+  between calls, with learned constraints, activity/restart state and
+  the trail-attached MIS/LP caches retained across calls.
+* :func:`make_session` — factory mirroring ``repro.api.make_solver``.
+* :class:`SessionStats` — lifetime counters.
+"""
+
+from .session import SessionStats, SolverSession, make_session
+
+__all__ = ["SessionStats", "SolverSession", "make_session"]

@@ -4,7 +4,6 @@ from .relaxation import (
     LowerBound,
     LPRelaxationBound,
     integer_ceil_bound,
-    integer_floor_bound,  # deprecated alias of integer_ceil_bound
     root_lpr_bound,
 )
 from .tolerances import FEAS_TOL, ROUND_EPS, TIGHT_TOL, ceil_guarded
@@ -43,7 +42,6 @@ __all__ = [
     "build_lp_data",
     "ceil_guarded",
     "integer_ceil_bound",
-    "integer_floor_bound",
     "root_lpr_bound",
     "solve_lp",
 ]

@@ -84,11 +84,6 @@ def integer_ceil_bound(lp_objective: float) -> int:
     return ceil_guarded(lp_objective)
 
 
-#: Deprecated alias — the function rounds up, not down; use
-#: :func:`integer_ceil_bound`.
-integer_floor_bound = integer_ceil_bound
-
-
 class _WarmModel:
     """The persistent LP behind a warm :class:`LPRelaxationBound`."""
 
@@ -149,6 +144,14 @@ class LPRelaxationBound:
         previous call instead of diffing the whole ``fixed`` mapping."""
         self._delta = trail.register_delta()
         self._model = None  # rebuild so model state and feed are in sync
+
+    def detach_trail(self, trail) -> None:
+        """Reverse of :meth:`attach_trail`: stop consuming the trail's
+        change feed (sessions detach a bounder before rebuilding it on
+        structural changes, else the dead delta is fed forever)."""
+        if self._delta is not None:
+            trail.unregister_delta(self._delta)
+            self._delta = None
 
     def stats_dict(self) -> Dict[str, float]:
         """Structured per-bounder stats (merged into ``SolverStats``)."""

@@ -218,6 +218,15 @@ class MISBound:
         for state in self._extra_states.values():
             state.valid = False
 
+    def detach_trail(self, trail) -> None:
+        """Reverse of :meth:`attach_trail`: stop consuming the trail's
+        change feed.  Sessions call this before discarding a bounder
+        (``pop``/``set_objective`` rebuilds) so the trail does not keep
+        feeding a dead delta forever."""
+        if self._delta is not None:
+            trail.unregister_delta(self._delta)
+            self._delta = None
+
     def stats_dict(self) -> Dict[str, float]:
         """Structured per-bounder stats (merged into ``SolverStats``)."""
         return {

@@ -1,4 +1,4 @@
-"""Reader/writer for the OPB pseudo-boolean format.
+"""Reader/writer for the OPB and WBO pseudo-boolean formats.
 
 The OPB format is the interchange format of the pseudo-boolean evaluation
 (PB competition) and is accepted by PBS, Galena, bsolo and modern PB
@@ -12,6 +12,16 @@ solvers.  Supported subset::
 Terms are ``<integer> <literal>`` with literals ``xN`` / ``~xN``; relations
 are ``>=``, ``<=`` and ``=``; every statement ends with ``;``.  The
 objective line is optional (pure satisfaction instances omit it).
+
+The WBO variant (:func:`parse_wbo`) is the competition's soft-constraint
+format: no objective line, a ``soft: <top> ;`` header (``top`` optional —
+when present, solutions with violation cost ``>= top`` are rejected), and
+constraints optionally prefixed with a ``[<weight>]`` marker making them
+soft::
+
+    soft: 6 ;
+    [2] +1 x1 >= 1 ;
+    +1 x2 +1 x3 >= 2 ;
 """
 
 from __future__ import annotations
@@ -21,10 +31,15 @@ import re
 from typing import List, Optional, TextIO, Tuple, Union
 
 from .builder import PBModel
-from .constraints import Term
+from .constraints import Constraint, Term
 from .instance import PBInstance
 
 _TOKEN = re.compile(r"[+-]?\d+|~?x\d+|>=|<=|=|;|min:|max:")
+
+#: WBO adds the ``soft:`` header and ``[w]`` weight prefixes (and drops
+#: the objective keywords — a ``min:`` line in a ``.wbo`` file is an
+#: error, surfaced as unexpected text).
+_WBO_TOKEN = re.compile(r"\[\d+\]|soft:|[+-]?\d+|~?x\d+|>=|<=|=|;")
 
 
 class OPBError(ValueError):
@@ -34,7 +49,9 @@ class OPBError(ValueError):
 _OFFSET_COMMENT = re.compile(r"^\*\s*offset=\s*(-?\d+)\s*$")
 
 
-def _tokenize(text: str) -> Tuple[List[str], int]:
+def _tokenize(
+    text: str, token: "re.Pattern[str]" = _TOKEN
+) -> Tuple[List[str], int]:
     tokens: List[str] = []
     offset = 0
     for raw_line in text.splitlines():
@@ -45,7 +62,7 @@ def _tokenize(text: str) -> Tuple[List[str], int]:
                 offset = int(match.group(1))
             continue
         pos = 0
-        for match in _TOKEN.finditer(line):
+        for match in token.finditer(line):
             between = line[pos : match.start()]
             if between.strip():
                 raise OPBError("unexpected text %r in line %r" % (between.strip(), raw_line))
@@ -180,3 +197,140 @@ def write_file(instance: PBInstance, path: str) -> None:
     """Write an instance to an ``.opb`` file."""
     with open(path, "w") as handle:
         write(instance, handle)
+
+
+# ----------------------------------------------------------------------
+# WBO (soft-constraint) variant
+# ----------------------------------------------------------------------
+def parse_wbo(source: Union[str, TextIO]):
+    """Parse WBO text (or a readable file object) into a
+    :class:`~repro.wbo.model.WBOInstance`.
+
+    Grammar (module docstring): an optional ``soft: [top] ;`` header
+    followed by constraints, each optionally prefixed by ``[weight]``.
+    Soft equality constraints are rejected — a soft ``=`` has no single
+    violated/satisfied reading in the relaxation encoding (its two
+    directions would need separate weights); model them as two soft
+    ``>=``/``<=`` constraints instead.
+    """
+    from ..wbo.model import SoftConstraint, WBOInstance
+
+    text = source if isinstance(source, str) else source.read()
+    tokens, _ = _tokenize(text, _WBO_TOKEN)
+    hard: List[Constraint] = []
+    soft: List[SoftConstraint] = []
+    top: Optional[int] = None
+    i = 0
+    n = len(tokens)
+    seen_header = False
+    seen_constraint = False
+    while i < n:
+        token = tokens[i]
+        if token == "soft:":
+            if seen_header:
+                raise OPBError("multiple 'soft:' header lines")
+            if seen_constraint:
+                raise OPBError("'soft:' header must precede constraints")
+            seen_header = True
+            i += 1
+            if i < n and tokens[i] != ";":
+                try:
+                    top = int(tokens[i])
+                except ValueError:
+                    raise OPBError(
+                        "soft: header expects an integer, got %r" % tokens[i]
+                    )
+                if top <= 0:
+                    raise OPBError("soft: top bound must be positive")
+                i += 1
+            if i >= n or tokens[i] != ";":
+                raise OPBError("'soft:' header missing ';'")
+            i += 1
+            continue
+        weight: Optional[int] = None
+        if token.startswith("["):
+            weight = int(token[1:-1])
+            if weight <= 0:
+                raise OPBError("soft-constraint weight must be positive")
+            i += 1
+        seen_constraint = True
+        terms, i = _parse_terms(tokens, i)
+        if i >= n or tokens[i] not in (">=", "<=", "="):
+            raise OPBError("constraint missing relation operator")
+        relation = tokens[i]
+        i += 1
+        if i >= n:
+            raise OPBError("constraint missing right-hand side")
+        try:
+            rhs = int(tokens[i])
+        except ValueError:
+            raise OPBError(
+                "right-hand side must be an integer, got %r" % tokens[i]
+            )
+        i += 1
+        if i >= n or tokens[i] != ";":
+            raise OPBError("constraint missing ';'")
+        i += 1
+        if relation == ">=":
+            built = [Constraint.greater_equal(terms, rhs)]
+        elif relation == "<=":
+            built = [Constraint.less_equal(terms, rhs)]
+        else:
+            if weight is not None:
+                raise OPBError(
+                    "soft equality constraints are not supported; "
+                    "split into soft >= and <= halves"
+                )
+            built = [
+                Constraint.greater_equal(terms, rhs),
+                Constraint.less_equal(terms, rhs),
+            ]
+        for constraint in built:
+            if weight is None:
+                hard.append(constraint)
+            else:
+                soft.append(SoftConstraint(constraint, weight))
+    return WBOInstance(hard, soft, top=top)
+
+
+def parse_wbo_file(path: str):
+    """Parse a ``.wbo`` file from disk."""
+    with open(path, "r") as handle:
+        return parse_wbo(handle)
+
+
+def write_wbo(wbo, sink: Optional[TextIO] = None) -> str:
+    """Serialize a :class:`~repro.wbo.model.WBOInstance` to WBO text;
+    also writes to ``sink`` if given.  Constraints are emitted in the
+    normalized ``>=`` form, softs with their ``[weight]`` prefix."""
+    out = io.StringIO()
+    out.write(
+        "* #variable= %d #constraint= %d #soft= %d\n"
+        % (wbo.num_variables, len(wbo.hard), len(wbo.soft))
+    )
+    out.write("soft: %s;\n" % ("%d " % wbo.top if wbo.top is not None else ""))
+
+    def _render(constraint: Constraint) -> str:
+        parts = []
+        for coef, lit in constraint.terms:
+            if lit > 0:
+                parts.append("%+d x%d" % (coef, lit))
+            else:
+                parts.append("%+d ~x%d" % (coef, -lit))
+        parts.append(">= %d ;" % constraint.rhs)
+        return " ".join(parts)
+
+    for constraint in wbo.hard:
+        out.write(_render(constraint) + "\n")
+    for entry in wbo.soft:
+        out.write("[%d] %s\n" % (entry.weight, _render(entry.constraint)))
+    text = out.getvalue()
+    if sink is not None:
+        sink.write(text)
+    return text
+
+
+def write_wbo_file(wbo, path: str) -> None:
+    """Write a WBO instance to a ``.wbo`` file."""
+    with open(path, "w") as handle:
+        write_wbo(wbo, handle)

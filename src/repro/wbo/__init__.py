@@ -1,0 +1,30 @@
+"""Weighted Boolean Optimization front end (soft constraints).
+
+Public surface:
+
+* :class:`SoftConstraint`, :class:`WBOInstance` — the modelling layer.
+* :func:`compile_to_pbo`, :func:`decode` — the relaxation-variable
+  reduction to PBO and its inverse.
+* :class:`WBOSolver`, :func:`solve_wbo` — exact solving, either by
+  direct compilation or by the session-driven unsat-core-guided loop.
+"""
+
+from .model import (
+    CompiledWBO,
+    SoftConstraint,
+    WBOInstance,
+    compile_to_pbo,
+    decode,
+)
+from .solver import MODES, WBOSolver, solve_wbo
+
+__all__ = [
+    "CompiledWBO",
+    "MODES",
+    "SoftConstraint",
+    "WBOInstance",
+    "WBOSolver",
+    "compile_to_pbo",
+    "decode",
+    "solve_wbo",
+]

@@ -1,0 +1,206 @@
+"""Weighted Boolean Optimization instances and their PBO compilation.
+
+WBO (Manquinho, Marques-Silva & Planes, "Algorithms for Weighted
+Boolean Optimization") generalizes MaxSAT and PBO: constraints are
+*hard* (must hold) or *soft* (each with a violation weight), and the
+goal is a hard-feasible assignment minimizing the total weight of
+violated soft constraints.
+
+The classical reduction to PBO relaxes each soft constraint
+``sum a_j l_j >= b`` into ``sum a_j l_j + b r >= b`` with a fresh
+*relaxation variable* ``r`` (setting ``r`` satisfies the constraint
+trivially) and minimizes ``sum w_i r_i``.  :func:`compile_to_pbo`
+performs that construction; :func:`decode` maps a PBO model back to
+violated soft indices by re-checking the *original* soft constraints —
+the relaxation variables over-approximate violation (``r_i`` may be 1
+while the constraint happens to hold), so the decoded cost can only be
+confirmed, never trusted from ``r`` values alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from ..pb.objective import Objective
+
+
+class SoftConstraint:
+    """A constraint that may be violated at ``weight`` cost."""
+
+    __slots__ = ("constraint", "weight")
+
+    def __init__(self, constraint: Constraint, weight: int):
+        if weight <= 0:
+            raise ValueError("soft-constraint weight must be positive")
+        self.constraint = constraint
+        self.weight = weight
+
+    def __repr__(self) -> str:
+        return "SoftConstraint(%r, weight=%d)" % (self.constraint, self.weight)
+
+
+class WBOInstance:
+    """Hard constraints + weighted soft constraints over ``1..n``.
+
+    ``top`` (from the ``.wbo`` header's ``soft: <top> ;`` line) is an
+    exclusive cost bound: assignments whose total violation weight
+    reaches ``top`` are unacceptable.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        hard: Sequence[Constraint],
+        soft: Sequence[SoftConstraint],
+        num_variables: Optional[int] = None,
+        top: Optional[int] = None,
+        variable_names: Optional[Mapping[int, str]] = None,
+    ):
+        self.hard: Tuple[Constraint, ...] = tuple(hard)
+        self.soft: Tuple[SoftConstraint, ...] = tuple(soft)
+        max_var = 0
+        for constraint in self.hard:
+            for var in constraint.variables:
+                max_var = max(max_var, var)
+        for entry in self.soft:
+            for var in entry.constraint.variables:
+                max_var = max(max_var, var)
+        if num_variables is not None:
+            if num_variables < max_var:
+                raise ValueError(
+                    "num_variables=%d but variable %d appears"
+                    % (num_variables, max_var)
+                )
+            max_var = num_variables
+        self.num_variables = max_var
+        self.top = top
+        self.variable_names: Dict[int, str] = dict(variable_names or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> int:
+        """Sum of all soft weights (the worst feasible cost + slack)."""
+        return sum(entry.weight for entry in self.soft)
+
+    def cost_of(self, assignment: Mapping[int, int]) -> int:
+        """Total weight of the soft constraints ``assignment`` violates."""
+        return sum(
+            entry.weight
+            for entry in self.soft
+            if not entry.constraint.is_satisfied_by(assignment)
+        )
+
+    def violated_soft(self, assignment: Mapping[int, int]) -> Tuple[int, ...]:
+        """Indices (into ``self.soft``) of violated soft constraints."""
+        return tuple(
+            index
+            for index, entry in enumerate(self.soft)
+            if not entry.constraint.is_satisfied_by(assignment)
+        )
+
+    def __repr__(self) -> str:
+        return "WBOInstance(hard=%d, soft=%d, vars=%d)" % (
+            len(self.hard),
+            len(self.soft),
+            self.num_variables,
+        )
+
+
+class CompiledWBO:
+    """The PBO image of a WBO instance plus the decoding metadata."""
+
+    __slots__ = ("instance", "relax_var", "base_cost", "wbo")
+
+    def __init__(
+        self,
+        instance: PBInstance,
+        relax_var: Dict[int, int],
+        base_cost: int,
+        wbo: WBOInstance,
+    ):
+        #: The compiled :class:`PBInstance` (minimize total violation).
+        self.instance = instance
+        #: soft index -> relaxation variable (absent for tautological
+        #: or individually unsatisfiable softs, which need none).
+        self.relax_var = relax_var
+        #: Weight of softs that are unsatisfiable on their own — paid by
+        #: every assignment, carried as the objective offset.
+        self.base_cost = base_cost
+        self.wbo = wbo
+
+
+def compile_to_pbo(wbo: WBOInstance) -> CompiledWBO:
+    """Relaxation-variable reduction of WBO to PBO (module docstring).
+
+    Tautological softs cost nothing and get no relaxation variable;
+    individually unsatisfiable softs cost their weight unconditionally
+    (folded into the objective offset).  A finite ``top`` becomes a hard
+    cardinality-style bound on the relaxation variables.
+    """
+    constraints: List[Constraint] = list(wbo.hard)
+    relax_var: Dict[int, int] = {}
+    costs: Dict[int, int] = {}
+    base_cost = 0
+    next_var = wbo.num_variables + 1
+    for index, entry in enumerate(wbo.soft):
+        constraint = entry.constraint
+        if constraint.is_tautology:
+            continue
+        if constraint.is_unsatisfiable:
+            base_cost += entry.weight
+            continue
+        relax = next_var
+        next_var += 1
+        relax_var[index] = relax
+        costs[relax] = entry.weight
+        constraints.append(
+            Constraint.greater_equal(
+                list(constraint.terms) + [(constraint.rhs, relax)],
+                constraint.rhs,
+            )
+        )
+    if wbo.top is not None:
+        budget = wbo.top - 1 - base_cost
+        if budget < 0:
+            # Even the unavoidable cost breaks the bound: encode plain
+            # unsatisfiability (x1 and not-x1 style empty clause pair).
+            constraints.append(Constraint.clause([1]))
+            constraints.append(Constraint.clause([-1]))
+        else:
+            weight_terms = [
+                (wbo.soft[index].weight, relax_var[index])
+                for index in relax_var
+            ]
+            if weight_terms:
+                constraints.append(
+                    Constraint.less_equal(weight_terms, budget)
+                )
+    instance = PBInstance(
+        constraints,
+        Objective(costs, offset=base_cost),
+        num_variables=max(wbo.num_variables, next_var - 1),
+        variable_names=wbo.variable_names,
+    )
+    return CompiledWBO(instance, relax_var, base_cost, wbo)
+
+
+def decode(
+    compiled: CompiledWBO, assignment: Mapping[int, int]
+) -> Tuple[Dict[int, int], int, Tuple[int, ...]]:
+    """Project a PBO model back to WBO terms.
+
+    Returns ``(model, cost, violated)``: the assignment restricted to
+    the original variables, its total violation weight, and the violated
+    soft indices — all computed against the *original* soft constraints,
+    never trusted from the relaxation variables.
+    """
+    wbo = compiled.wbo
+    model = {
+        var: value
+        for var, value in assignment.items()
+        if var <= wbo.num_variables
+    }
+    violated = wbo.violated_soft(model)
+    cost = sum(wbo.soft[index].weight for index in violated)
+    return model, cost, violated

@@ -158,6 +158,88 @@ class TestFacade:
         assert repro.available_solvers is available_solvers
 
 
+class TestAssumptions:
+    """First-class ``assumptions=`` on the façade and the registry."""
+
+    def test_solve_under_assumptions(self):
+        result = solve(covering_instance(), assumptions=[1])
+        assert result.status == OPTIMAL
+        assert result.model[1] == 1
+        assert result.best_cost == 5
+
+    def test_make_solver_presets_assumptions(self):
+        solver = make_solver(covering_instance(), "bsolo", assumptions=[-2])
+        result = solver.solve()
+        assert result.status == OPTIMAL
+        assert result.model[2] == 0
+        assert result.best_cost == 5  # ~b forces a and c
+
+    @pytest.mark.parametrize(
+        "name", ["brute-force", "milp", "linear-search", "covering-bnb"]
+    )
+    def test_unsupporting_solvers_raise_uniformly(self, name):
+        from repro.core.options import UnsupportedOptionError
+
+        with pytest.raises(UnsupportedOptionError):
+            solve(covering_instance(), solver=name, assumptions=[1])
+        with pytest.raises(UnsupportedOptionError):
+            make_solver(covering_instance(), name, assumptions=[1])
+
+    def test_no_assumptions_means_no_screening(self):
+        # assumptions=None must not probe for support at all
+        result = solve(covering_instance(), solver="brute-force")
+        assert result.status == OPTIMAL
+
+    def test_error_reexported_from_package_root(self):
+        from repro.core.options import UnsupportedOptionError
+
+        assert repro.UnsupportedOptionError is UnsupportedOptionError
+
+
+class TestKeywordOnlyMigration:
+    """The instrument arguments went keyword-only; old positional
+    callers get one release behind a DeprecationWarning."""
+
+    def test_positional_instruments_warn_but_work(self):
+        with pytest.warns(DeprecationWarning):
+            result = solve(covering_instance(), "bsolo", None, 30.0)
+        assert result.status == OPTIMAL and result.best_cost == 4
+
+    def test_positional_maps_old_order(self):
+        # (timeout, propagation): a tiny timeout must still bite
+        with pytest.warns(DeprecationWarning):
+            result = solve(
+                covering_instance(), "bsolo-plain", None, 1e-9, "counter"
+            )
+        assert result.status == UNKNOWN
+
+    def test_keyword_callers_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = solve(covering_instance(), timeout=30.0)
+        assert result.status == OPTIMAL
+
+    def test_double_pass_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                solve(covering_instance(), "bsolo", None, 5.0, timeout=5.0)
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(TypeError):
+            solve(
+                covering_instance(),
+                "bsolo", None, None, None, None, None, None, None, None,
+            )
+
+    def test_session_entry_points_reexported(self):
+        from repro.incremental import SolverSession, make_session
+
+        assert repro.SolverSession is SolverSession
+        assert repro.make_session is make_session
+
+
 class TestUniformConstructors:
     """Every solver class accepts ``(instance, options)`` and exposes
     ``.solve() -> SolveResult`` plus ``.name`` and ``.stats``."""

@@ -6,7 +6,6 @@ from repro.lp import (
     LPRelaxationBound,
     build_lp_data,
     integer_ceil_bound,
-    integer_floor_bound,
     root_lpr_bound,
 )
 from repro.pb import Constraint, Objective, PBInstance
@@ -76,9 +75,12 @@ class TestIntegerCeilBound:
         assert integer_ceil_bound(5.0000000001) == 5
         assert integer_ceil_bound(4.9999999999) == 5
 
-    def test_deprecated_alias(self):
-        # integer_floor_bound always rounded *up*; the name was wrong.
-        assert integer_floor_bound is integer_ceil_bound
+    def test_deprecated_alias_removed(self):
+        # integer_floor_bound always rounded *up*; the misnamed alias
+        # finished its deprecation window and is gone.
+        import repro.lp
+
+        assert not hasattr(repro.lp, "integer_floor_bound")
 
 
 class TestLPRelaxationBound:
