@@ -12,9 +12,9 @@ import time
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..engine.activity import VSIDSActivity
-from ..engine.conflict import RootConflictError, analyze, highest_level
+from ..engine.conflict import ConflictAnalyzer, RootConflictError, highest_level
 from ..engine.interface import make_engine
-from ..engine.pb_resolution import derive_resolvent
+from ..engine.pb_resolution import ResolutionScratch
 from ..obs.events import ConflictEvent, DecisionEvent
 from ..obs.timers import NULL_TIMER
 from ..pb.constraints import Constraint
@@ -44,6 +44,8 @@ class DecisionSearch:
             propagation, num_variables, tracer=self._tracer
         )
         self._activity = VSIDSActivity(num_variables, decay=decay)
+        self._analyzer = ConflictAnalyzer(num_variables)
+        self._resolution = ResolutionScratch(num_variables)
         self._root_conflict = False
         self._pb_learning = pb_learning
         self.conflicts = 0
@@ -146,12 +148,12 @@ class DecisionSearch:
         if level < trail.decision_level:
             self._propagator.backtrack(level)
         try:
-            analysis = analyze(literals, trail)
+            analysis = self._analyzer.analyze(literals, trail)
         except RootConflictError:
             return False
         resolvent = None
         if self._pb_learning and conflict_constraint is not None:
-            resolvent = derive_resolvent(
+            resolvent = self._resolution.derive(
                 conflict_constraint,
                 analysis.resolved_variables,
                 self._propagator.antecedent,

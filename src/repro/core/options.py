@@ -148,7 +148,8 @@ class SolverOptions:
         self.pb_learning = pb_learning
         #: Propagation backend name (``repro.engine.available_engines()``):
         #: ``"counter"`` for eager slack counters (the reference engine),
-        #: ``"watched"`` for watched-literal/watched-sum propagation.
+        #: ``"watched"`` for watched-literal/watched-sum propagation,
+        #: ``"array"`` for the vectorized CSR/numpy engine.
         #: Validated lazily by ``make_engine`` so third-party backends
         #: registered after option construction still work.
         self.propagation = propagation

@@ -26,9 +26,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..covering.reductions import reduce_covering
 from ..engine.activity import VSIDSActivity
-from ..engine.conflict import RootConflictError, analyze, highest_level
+from ..engine.conflict import ConflictAnalyzer, RootConflictError, highest_level
 from ..engine.interface import make_engine
-from ..engine.pb_resolution import derive_resolvent
+from ..engine.pb_resolution import ResolutionScratch
 from ..engine.restarts import RestartScheduler
 from ..lagrangian.subgradient import LagrangianBound, SubgradientOptions
 from ..lp.relaxation import LowerBound, LPRelaxationBound
@@ -192,6 +192,11 @@ class BsoloSolver:
             self._prefilter = None  # set by _make_bounder for "hybrid"
             self._bounder = self._make_bounder()
             self._schedule = make_schedule(self._options)
+        # One analyzer per solver: its flat seen-buffer is reused across
+        # every conflict (sized to the trail, which sessions extend by a
+        # guard variable).
+        self._analyzer = ConflictAnalyzer(self._propagator.trail.num_variables)
+        self._resolution = ResolutionScratch(self._propagator.trail.num_variables)
         self._brancher = Brancher(
             self._activity,
             lp_guided=self._options.lp_guided_branching
@@ -1038,7 +1043,7 @@ class BsoloSolver:
             # rewind to the highest responsible level first (Section 4.1).
             self._propagator.backtrack(level)
         try:
-            analysis = analyze(literals, trail)
+            analysis = self._analyzer.analyze(literals, trail)
         except RootConflictError:
             return False
         proof = self._proof
@@ -1047,7 +1052,7 @@ class BsoloSolver:
         if self._options.pb_learning and conflict_constraint is not None:
             # must run before the backjump pops the antecedents
             resolution_trace = [] if proof is not None else None
-            resolvent = derive_resolvent(
+            resolvent = self._resolution.derive(
                 conflict_constraint,
                 analysis.resolved_variables,
                 self._propagator.antecedent,

@@ -7,8 +7,16 @@ Chaff VSIDS branching heuristic (Section 5).
 """
 
 from .activity import VSIDSActivity
-from .assignment import Reason, Trail, UNASSIGNED
-from .conflict import AnalysisResult, RootConflictError, analyze, highest_level
+from .array_engine import ArrayPropagator
+from .array_store import ArrayConstraintStore
+from .assignment import ArrayTrail, Reason, Trail, UNASSIGNED
+from .conflict import (
+    AnalysisResult,
+    ConflictAnalyzer,
+    RootConflictError,
+    analyze,
+    highest_level,
+)
 from .constraint_db import (
     KIND_CARDINALITY,
     KIND_CLAUSE,
@@ -33,7 +41,11 @@ from .watched import WatchedPropagator
 
 __all__ = [
     "AnalysisResult",
+    "ArrayConstraintStore",
+    "ArrayPropagator",
+    "ArrayTrail",
     "Conflict",
+    "ConflictAnalyzer",
     "ConstraintDatabase",
     "KIND_CARDINALITY",
     "KIND_CLAUSE",

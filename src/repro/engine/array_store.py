@@ -1,0 +1,290 @@
+"""CSR (compressed sparse row) constraint storage for the array backend.
+
+The counter backend keeps one Python object per constraint and walks
+per-literal occurrence *lists* of ``(stored, coef)`` pairs; every slack
+update is a Python-level loop.  :class:`ArrayConstraintStore` flattens
+the same data into contiguous numpy arrays:
+
+``term_coefs`` / ``term_lits``
+    All constraint terms back-to-back (int64 coefficients, int32
+    literals); constraint ``i`` owns the slice
+    ``con_start[i]:con_start[i + 1]`` — a classic CSR layout.
+
+``slack`` / ``rhs`` / ``max_coef``
+    One entry per constraint.  ``slack[i]`` is maintained exactly like
+    the counter backend's per-object slack (sum of non-false
+    coefficients minus the degree).  ``slack`` is deliberately a Python
+    *list*: the propagator reads and writes it one row at a time on its
+    sequential paths, where list indexing is several times faster than
+    numpy scalar indexing; the vectorized scan gathers the few rows it
+    needs with ``np.fromiter``.  ``rhs`` and ``max_coef`` are read-only
+    after attach and stay int64 arrays for the batched masks.
+
+per-literal occurrence index
+    For each literal, the constraint rows containing it and their
+    coefficients, as paired int32/int64 arrays.  Learned constraints
+    arrive mid-search, so each occurrence list is an append-friendly
+    Python pair with a lazily (re)built numpy cache — the hot path only
+    ever touches the cached arrays.
+
+A ``stored`` sidecar list of
+:class:`~repro.engine.constraint_db.StoredConstraint` twins (one per
+row) keeps the store compatible with everything that consumes
+constraint *objects*: :class:`~repro.engine.interface.Conflict`
+reporting, reason building, the solver's learned-clause reduction
+policy and the session frame-tagging machinery all work unchanged.
+
+Coefficients use int64 throughout (coefficient *sums* routinely exceed
+int32 on weighted instances); inputs whose total coefficient mass could
+overflow int64 arithmetic are rejected up front rather than silently
+wrapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..pb.constraints import Constraint
+from .assignment import Trail
+from .constraint_db import StoredConstraint
+
+#: Per-constraint coefficient totals beyond this cannot be summed in
+#: int64 without overflow risk; such instances stay on the ``counter``
+#: backend (exact bignum arithmetic).
+MAX_COEFFICIENT_TOTAL = 1 << 62
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int32)
+_EMPTY_COEFS = np.empty(0, dtype=np.int64)
+
+
+def _literal_index(literal: int) -> int:
+    """Dense index of a literal: ``2 * var`` for positive, ``+1`` for
+    negative — keys the per-literal occurrence table."""
+    return (literal << 1) if literal > 0 else ((-literal) << 1) | 1
+
+
+class _OccurrenceList:
+    """Append-friendly occurrence list with a cached numpy view."""
+
+    __slots__ = ("rows", "coefs", "_np_rows", "_np_coefs", "dirty")
+
+    def __init__(self):
+        self.rows: List[int] = []
+        self.coefs: List[int] = []
+        self._np_rows = _EMPTY_ROWS
+        self._np_coefs = _EMPTY_COEFS
+        self.dirty = False
+
+    def append(self, row: int, coef: int) -> None:
+        """Record that constraint ``row`` contains the literal."""
+        self.rows.append(row)
+        self.coefs.append(coef)
+        self.dirty = True
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached ``(rows, coefs)`` numpy pair (rebuilt if stale)."""
+        if self.dirty:
+            self._np_rows = np.asarray(self.rows, dtype=np.int32)
+            self._np_coefs = np.asarray(self.coefs, dtype=np.int64)
+            self.dirty = False
+        return self._np_rows, self._np_coefs
+
+
+class ArrayConstraintStore:
+    """All constraints (original + learned) in CSR form.
+
+    Mirrors the :class:`~repro.engine.constraint_db.ConstraintDatabase`
+    surface the rest of the stack relies on (``constraints``,
+    ``num_learned``, iteration) while exposing the flat arrays the
+    vectorized propagator's kernels index.
+    """
+
+    #: Initial per-array capacities (doubled on demand).
+    _MIN_ROWS = 64
+    _MIN_TERMS = 256
+
+    def __init__(self, trail: Trail):
+        self._trail = trail
+        #: StoredConstraint sidecar, row-aligned with the arrays.
+        self.constraints: List[StoredConstraint] = []
+        self.num_constraints = 0
+        self._num_terms = 0
+        rows = self._MIN_ROWS
+        terms = self._MIN_TERMS
+        self.term_coefs = np.zeros(terms, dtype=np.int64)
+        self.term_lits = np.zeros(terms, dtype=np.int32)
+        #: ``con_start[i]:con_start[i+1]`` is row ``i``'s term slice.
+        self.con_start = np.zeros(rows + 1, dtype=np.int64)
+        #: Python list: scalar-indexed on every assign/backtrack.
+        self.slack: List[int] = []
+        self.rhs = np.zeros(rows, dtype=np.int64)
+        self.max_coef = np.zeros(rows, dtype=np.int64)
+        # literal-index -> occurrence list (grown with the variable range)
+        self._occ: List[Optional[_OccurrenceList]] = [None] * (
+            2 * (trail.num_variables + 1) + 2
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_constraints
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def num_learned(self) -> int:
+        """Number of learned (non-input) constraints in the store."""
+        return sum(1 for stored in self.constraints if stored.learned)
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _ensure_rows(self, needed: int) -> None:
+        capacity = self.rhs.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        self.rhs = np.resize(self.rhs, capacity)
+        self.max_coef = np.resize(self.max_coef, capacity)
+        self.con_start = np.resize(self.con_start, capacity + 1)
+
+    def _ensure_terms(self, needed: int) -> None:
+        capacity = self.term_coefs.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        self.term_coefs = np.resize(self.term_coefs, capacity)
+        self.term_lits = np.resize(self.term_lits, capacity)
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint, learned: bool = False) -> StoredConstraint:
+        """Attach a constraint; its slack reflects the current trail."""
+        terms = constraint.terms
+        total = 0
+        for coef, _ in terms:
+            total += coef
+        if total >= MAX_COEFFICIENT_TOTAL or constraint.rhs >= MAX_COEFFICIENT_TOTAL:
+            raise OverflowError(
+                "coefficient total %d exceeds the array backend's int64 "
+                "range; use propagation='counter' for this instance" % total
+            )
+        row = self.num_constraints
+        stored = StoredConstraint(constraint, row, learned)
+        self.constraints.append(stored)
+        self.num_constraints = row + 1
+        start = self._num_terms
+        self._ensure_rows(row + 1)
+        self._ensure_terms(start + len(terms))
+        trail = self._trail
+        slack = -constraint.rhs
+        offset = start
+        for coef, lit in terms:
+            self.term_coefs[offset] = coef
+            self.term_lits[offset] = lit
+            offset += 1
+            index = _literal_index(lit)
+            occ = self._occ[index]
+            if occ is None:
+                occ = self._occ[index] = _OccurrenceList()
+            occ.append(row, coef)
+            if not trail.literal_is_false(lit):
+                slack += coef
+        self._num_terms = offset
+        self.con_start[row] = start
+        self.con_start[row + 1] = offset
+        self.slack.append(slack)
+        stored.slack = slack
+        self.rhs[row] = constraint.rhs
+        self.max_coef[row] = stored.max_coef
+        return stored
+
+    # ------------------------------------------------------------------
+    # Occurrence / term access (hot paths)
+    # ------------------------------------------------------------------
+    def occurrences(self, literal: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, coefs)`` of constraints containing ``literal``."""
+        occ = self._occ[_literal_index(literal)]
+        if occ is None:
+            return _EMPTY_ROWS, _EMPTY_COEFS
+        return occ.arrays()
+
+    def row_terms(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(coefs, lits)`` array views of constraint ``row``'s terms."""
+        start = self.con_start[row]
+        end = self.con_start[row + 1]
+        return self.term_coefs[start:end], self.term_lits[start:end]
+
+    # ------------------------------------------------------------------
+    # Learned-constraint deletion
+    # ------------------------------------------------------------------
+    def remove_learned(
+        self, keep: Callable[[StoredConstraint], bool]
+    ) -> Tuple[int, Optional[np.ndarray]]:
+        """Drop learned constraints failing ``keep``; rebuild the arrays.
+
+        Returns ``(removed, old_to_new)`` where ``old_to_new`` maps old
+        row indices to new ones (-1 for deleted rows) so the propagator
+        can remap any queued row references; ``None`` when nothing was
+        removed.  Surviving slacks are copied, not recomputed — they are
+        already correct for the current trail.
+        """
+        survivors: List[StoredConstraint] = []
+        old_rows: List[int] = []
+        removed = 0
+        for stored in self.constraints:
+            if stored.learned and not keep(stored):
+                removed += 1
+                continue
+            old_rows.append(stored.index)
+            survivors.append(stored)
+        if not removed:
+            return 0, None
+        old_to_new = np.full(self.num_constraints, -1, dtype=np.int64)
+        old_rows_arr = np.asarray(old_rows, dtype=np.int64)
+        old_to_new[old_rows_arr] = np.arange(len(survivors), dtype=np.int64)
+
+        old_coefs = self.term_coefs
+        old_lits = self.term_lits
+        old_start = self.con_start
+        old_slack = self.slack
+        self.constraints = survivors
+        self.num_constraints = len(survivors)
+        self._num_terms = 0
+        self._occ = [None] * len(self._occ)
+        self.term_coefs = np.zeros(max(self._MIN_TERMS, old_coefs.shape[0]),
+                                   dtype=np.int64)
+        self.term_lits = np.zeros(self.term_coefs.shape[0], dtype=np.int32)
+        new_rows = max(self._MIN_ROWS, self.rhs.shape[0])
+        self.con_start = np.zeros(new_rows + 1, dtype=np.int64)
+        self.slack = []
+        self.rhs = np.zeros(new_rows, dtype=np.int64)
+        self.max_coef = np.zeros(new_rows, dtype=np.int64)
+        offset = 0
+        for new_row, (stored, old_row) in enumerate(zip(survivors, old_rows)):
+            start = old_start[old_row]
+            end = old_start[old_row + 1]
+            width = int(end - start)
+            self._ensure_terms(offset + width)
+            self.term_coefs[offset:offset + width] = old_coefs[start:end]
+            self.term_lits[offset:offset + width] = old_lits[start:end]
+            self.con_start[new_row] = offset
+            self.con_start[new_row + 1] = offset + width
+            self.slack.append(old_slack[old_row])
+            self.rhs[new_row] = stored.constraint.rhs
+            self.max_coef[new_row] = stored.max_coef
+            stored.index = new_row
+            for position in range(offset, offset + width):
+                lit = int(self.term_lits[position])
+                index = _literal_index(lit)
+                occ = self._occ[index]
+                if occ is None:
+                    occ = self._occ[index] = _OccurrenceList()
+                occ.append(new_row, int(self.term_coefs[position]))
+            offset += width
+        self._num_terms = offset
+        return removed, old_to_new

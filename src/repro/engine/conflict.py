@@ -78,76 +78,122 @@ def highest_level(literals: Iterable[int], trail: Trail) -> int:
     return result
 
 
-def analyze(conflict_literals: Iterable[int], trail: Trail) -> AnalysisResult:
-    """First-UIP resolution from a set of false literals.
+class ConflictAnalyzer:
+    """First-UIP analysis with a flat, reusable scratchpad.
 
-    Precondition: every literal in ``conflict_literals`` is false under
-    ``trail`` and at least one was assigned at the current decision level
-    (callers handling bound conflicts backtrack to ``highest_level`` of
-    the clause first to establish this).
+    The original :func:`analyze` allocated a fresh ``seen`` set per
+    conflict; at tens of thousands of conflicts the per-element hashing
+    dominates.  The analyzer instead keeps one flat byte buffer indexed
+    by variable (a membership test is an array load) that is *sparsely*
+    cleared after each run — only the touched entries are reset, so an
+    analysis costs O(clause size), never O(num_variables).
 
-    Raises :class:`RootConflictError` when the conflict does not depend on
-    any decision.
+    One instance per solver; :meth:`analyze` is reentrant-unsafe by
+    design (the solver analyzes one conflict at a time).
     """
-    conflict_level = trail.decision_level
-    seen = set()
-    counter = 0  # literals of the current clause at conflict_level
-    learned: List[int] = []  # literals below conflict_level
-    all_seen: List[int] = []
 
-    def absorb(literals: Iterable[int], skip_var: Optional[int]) -> None:
-        nonlocal counter
-        for lit in literals:
-            var = variable(lit)
-            if var == skip_var or var in seen:
-                continue
-            if not trail.literal_is_false(lit):  # pragma: no cover - defensive
-                raise AssertionError("conflict literal %d is not false" % lit)
-            seen.add(var)
-            all_seen.append(var)
-            level = trail.level(var)
-            if level == 0:
-                continue  # root-level facts never appear in learned clauses
-            if level == conflict_level:
-                counter += 1
-            else:
-                learned.append(lit)
+    __slots__ = ("_seen",)
 
-    absorb(conflict_literals, None)
+    def __init__(self, num_variables: int):
+        self._seen = bytearray(num_variables + 1)
 
-    if counter == 0:
-        # No dependence on the conflict level at all.
-        if not learned:
-            raise RootConflictError("conflict explained by root-level assignments")
-        raise AssertionError(
-            "analyze() requires a literal at the conflict level; "
-            "backtrack to highest_level() first"
+    def _ensure_capacity(self, num_variables: int) -> None:
+        """Grow the scratch buffer (sessions size it to the guard var)."""
+        if num_variables + 1 > len(self._seen):
+            self._seen = bytearray(num_variables + 1)
+
+    def analyze(
+        self, conflict_literals: Iterable[int], trail: Trail
+    ) -> AnalysisResult:
+        """First-UIP resolution from a set of false literals.
+
+        Precondition: every literal in ``conflict_literals`` is false
+        under ``trail`` and at least one was assigned at the current
+        decision level (callers handling bound conflicts backtrack to
+        ``highest_level`` of the clause first to establish this).
+
+        Raises :class:`RootConflictError` when the conflict does not
+        depend on any decision.
+        """
+        self._ensure_capacity(trail.num_variables)
+        seen = self._seen
+        conflict_level = trail.decision_level
+        counter = 0  # literals of the current clause at conflict_level
+        learned: List[int] = []  # literals below conflict_level
+        all_seen: List[int] = []  # doubles as the sparse-clear worklist
+
+        def absorb(literals: Iterable[int], skip_var: Optional[int]) -> None:
+            nonlocal counter
+            for lit in literals:
+                var = variable(lit)
+                if var == skip_var or seen[var]:
+                    continue
+                if not trail.literal_is_false(lit):  # pragma: no cover - defensive
+                    raise AssertionError("conflict literal %d is not false" % lit)
+                seen[var] = 1
+                all_seen.append(var)
+                level = trail.level(var)
+                if level == 0:
+                    continue  # root facts never appear in learned clauses
+                if level == conflict_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+
+        try:
+            absorb(conflict_literals, None)
+
+            if counter == 0:
+                # No dependence on the conflict level at all.
+                if not learned:
+                    raise RootConflictError(
+                        "conflict explained by root-level assignments"
+                    )
+                raise AssertionError(
+                    "analyze() requires a literal at the conflict level; "
+                    "backtrack to highest_level() first"
+                )
+
+            asserting: Optional[int] = None
+            resolved: List[int] = []
+            for trail_lit in reversed(trail.literals):
+                var = variable(trail_lit)
+                if not seen[var] or trail.level(var) != conflict_level:
+                    continue
+                if counter == 1:
+                    asserting = -trail_lit  # the UIP, negated
+                    break
+                reason = trail.reason(var)
+                if reason is None:  # pragma: no cover - defensive
+                    raise AssertionError(
+                        "multiple conflict literals reached the decision"
+                    )
+                counter -= 1
+                resolved.append(var)
+                # reason = (implied literal, false literals...); resolve
+                absorb(reason[1:], skip_var=var)
+            if asserting is None:  # pragma: no cover - defensive
+                raise AssertionError("first UIP not found")
+        finally:
+            for var in all_seen:
+                seen[var] = 0
+
+        backtrack_level = highest_level(learned, trail)
+        return AnalysisResult(
+            learned_literals=tuple([asserting] + learned),
+            backtrack_level=backtrack_level,
+            asserting_literal=asserting,
+            seen_variables=tuple(all_seen),
+            resolved_variables=tuple(resolved),
         )
 
-    asserting: Optional[int] = None
-    resolved: List[int] = []
-    for trail_lit in reversed(trail.literals):
-        var = variable(trail_lit)
-        if var not in seen or trail.level(var) != conflict_level:
-            continue
-        if counter == 1:
-            asserting = -trail_lit  # the UIP, negated, completes the clause
-            break
-        reason = trail.reason(var)
-        if reason is None:  # pragma: no cover - defensive
-            raise AssertionError("multiple conflict literals reached the decision")
-        counter -= 1
-        resolved.append(var)
-        # reason = (implied literal, false literals...); resolve on var
-        absorb(reason[1:], skip_var=var)
-    if asserting is None:  # pragma: no cover - defensive
-        raise AssertionError("first UIP not found")
 
-    backtrack_level = highest_level(learned, trail)
-    return AnalysisResult(
-        learned_literals=tuple([asserting] + learned),
-        backtrack_level=backtrack_level,
-        asserting_literal=asserting,
-        seen_variables=tuple(all_seen),
-        resolved_variables=tuple(resolved),
+def analyze(conflict_literals: Iterable[int], trail: Trail) -> AnalysisResult:
+    """Module-level convenience wrapper over :class:`ConflictAnalyzer`.
+
+    Allocates a throwaway scratchpad; long-running callers (the solver)
+    hold one analyzer and reuse it across conflicts instead.
+    """
+    return ConflictAnalyzer(trail.num_variables).analyze(
+        conflict_literals, trail
     )

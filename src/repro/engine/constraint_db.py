@@ -231,6 +231,11 @@ class WatchedConstraintDatabase:
     def __init__(self, trail: Trail):
         self._trail = trail
         self.constraints: List[StoredConstraint] = []
+        #: literal -> [(stored, other_lit)] for binary clauses.  Both
+        #: literals of a binary clause are permanently watched: no
+        #: replacement can ever exist, so the wake path skips watcher
+        #: maintenance entirely and tests the single other literal.
+        self.binary_watch: Dict[int, List[Tuple[StoredConstraint, int]]] = {}
         #: literal -> clauses watching it (woken when it becomes false).
         self.clause_watch: Dict[int, List[StoredConstraint]] = {}
         #: literal -> cardinality constraints watching it.
@@ -280,15 +285,45 @@ class WatchedConstraintDatabase:
         lits = sorted(constraint.literals, key=sort_key)
         stored.wlits = lits
         if stored.kind == KIND_CLAUSE:
+            if len(lits) == 2:
+                self.binary_watch.setdefault(lits[0], []).append((stored, lits[1]))
+                self.binary_watch.setdefault(lits[1], []).append((stored, lits[0]))
+                return nonfalse - constraint.rhs
             watch_count = min(2, len(lits))
             watch_map = self.clause_watch
         else:
             stored.threshold = constraint.cardinality_threshold
             watch_count = min(stored.threshold + 1, len(lits))
+            if 4 * watch_count >= 3 * len(lits):
+                # Dense: the watched block covers (nearly) every literal,
+                # so almost any falsification wakes the constraint anyway
+                # — laziness buys nothing while the wake machinery costs
+                # plenty.  Run it in the counter regime from birth
+                # (eager wsum + deduped exact scans), which also matches
+                # the profile winner on tight routing cardinalities.
+                self._degrade_at_birth(stored, nonfalse)
+                return nonfalse - constraint.rhs
             watch_map = self.card_watch
         for lit in lits[:watch_count]:
             watch_map.setdefault(lit, []).append(stored)
         return nonfalse - constraint.rhs
+
+    def _degrade_at_birth(self, stored: StoredConstraint, nonfalse: int) -> None:
+        """Counter-regime attachment: every term in ``pb_occ``.
+
+        ``wsum`` is the non-false coefficient sum over all terms, so
+        ``wsum - rhs`` is the exact slack — the same invariant
+        :meth:`watch_everything` establishes, here without ever paying
+        for a watch set.  Used for constraints the watch scheme cannot
+        make lazy (dense cardinalities, near-full PB watch sets).
+        """
+        stored.watch_all = True
+        stored.wsum = nonfalse
+        if stored.watch_set is None:
+            stored.watch_set = set()
+        pb_occ = self.pb_occ
+        for coef, lit in stored.constraint.terms:
+            pb_occ.setdefault(lit, []).append((stored, coef))
 
     def _attach_general(self, stored: StoredConstraint, nonfalse: int) -> None:
         trail = self._trail
@@ -299,21 +334,26 @@ class WatchedConstraintDatabase:
         if nonfalse < required:
             # Degraded from birth: counter-style occurrence entries
             # (false literals contribute 0 to wsum; undo restores them).
-            stored.watch_all = True
-            stored.wsum = nonfalse
-            for coef, lit in constraint.terms:
-                self.pb_occ.setdefault(lit, []).append((stored, coef))
+            self._degrade_at_birth(stored, nonfalse)
             return
         # Greedy: largest coefficients first needs the fewest watchers.
         wsum = 0
+        chosen: List[Tuple[int, int]] = []
         for coef, lit in sorted(constraint.terms, key=lambda t: -t[0]):
             if trail.literal_is_false(lit):
                 continue
-            watch_set.add(lit)
-            self.pb_watch.setdefault(lit, []).append((stored, coef))
+            chosen.append((coef, lit))
             wsum += coef
             if wsum >= required:
                 break
+        if 4 * len(chosen) >= 3 * len(constraint.terms):
+            # The greedy watch set covers (nearly) every term: dense —
+            # see _degrade_at_birth.
+            self._degrade_at_birth(stored, nonfalse)
+            return
+        for coef, lit in chosen:
+            watch_set.add(lit)
+            self.pb_watch.setdefault(lit, []).append((stored, coef))
         stored.wsum = wsum
 
     def watch_everything(self, stored: StoredConstraint) -> None:
@@ -364,6 +404,7 @@ class WatchedConstraintDatabase:
             return 0
         self.constraints = kept
         # cleared in place: the engine holds direct references to these maps
+        self.binary_watch.clear()
         self.clause_watch.clear()
         self.card_watch.clear()
         self.pb_watch.clear()
@@ -376,15 +417,20 @@ class WatchedConstraintDatabase:
     def _reregister(self, stored: StoredConstraint) -> None:
         """Re-enter a survivor's existing watches into the fresh maps."""
         if stored.kind == KIND_CLAUSE:
-            for lit in stored.wlits[: min(2, len(stored.wlits))]:
+            wlits = stored.wlits
+            if len(wlits) == 2:
+                self.binary_watch.setdefault(wlits[0], []).append((stored, wlits[1]))
+                self.binary_watch.setdefault(wlits[1], []).append((stored, wlits[0]))
+                return
+            for lit in wlits[: min(2, len(wlits))]:
                 self.clause_watch.setdefault(lit, []).append(stored)
+        elif stored.watch_all:  # degraded card or general PB
+            for coef, lit in stored.constraint.terms:
+                self.pb_occ.setdefault(lit, []).append((stored, coef))
         elif stored.kind == KIND_CARDINALITY:
             count = min(stored.threshold + 1, len(stored.wlits))
             for lit in stored.wlits[:count]:
                 self.card_watch.setdefault(lit, []).append(stored)
-        elif stored.watch_all:
-            for coef, lit in stored.constraint.terms:
-                self.pb_occ.setdefault(lit, []).append((stored, coef))
         else:
             constraint = stored.constraint
             for lit in stored.watch_set:
@@ -407,26 +453,26 @@ class WatchedConstraintDatabase:
         """
         trail = self._trail
         for stored in self.constraints:
-            if stored.kind == KIND_GENERAL:
-                if stored.watch_all:
-                    expected = sum(
-                        coef
-                        for coef, lit in stored.constraint.terms
-                        if not trail.literal_is_false(lit)
+            if stored.watch_all:  # degraded card or general PB
+                expected = sum(
+                    coef
+                    for coef, lit in stored.constraint.terms
+                    if not trail.literal_is_false(lit)
+                )
+                if expected != stored.wsum:
+                    raise AssertionError(
+                        "degraded wsum drift on %r: stored %d, "
+                        "recomputed %d" % (stored, stored.wsum, expected)
                     )
-                    if expected != stored.wsum:
+                for coef, lit in stored.constraint.terms:
+                    entries = self.pb_occ.get(lit, ())
+                    if not any(e[0] is stored for e in entries):
                         raise AssertionError(
-                            "degraded wsum drift on %r: stored %d, "
-                            "recomputed %d" % (stored, stored.wsum, expected)
+                            "term %d of degraded %r missing from pb_occ"
+                            % (lit, stored)
                         )
-                    for coef, lit in stored.constraint.terms:
-                        entries = self.pb_occ.get(lit, ())
-                        if not any(e[0] is stored for e in entries):
-                            raise AssertionError(
-                                "term %d of degraded %r missing from pb_occ"
-                                % (lit, stored)
-                            )
-                    continue
+                continue
+            if stored.kind == KIND_GENERAL:
                 expected = sum(
                     stored.constraint.coefficient(lit)
                     for lit in stored.watch_set
@@ -451,6 +497,14 @@ class WatchedConstraintDatabase:
                             % (lit, stored)
                         )
             elif stored.kind == KIND_CLAUSE:
+                if len(stored.wlits) == 2:
+                    for lit in stored.wlits:
+                        entries = self.binary_watch.get(lit, ())
+                        if not any(e[0] is stored for e in entries):
+                            raise AssertionError(
+                                "binary watch %d of %r missing" % (lit, stored)
+                            )
+                    continue
                 for lit in stored.wlits[: min(2, len(stored.wlits))]:
                     if stored not in self.clause_watch.get(lit, ()):
                         raise AssertionError(

@@ -222,11 +222,12 @@ class PropagationEngine(ABC):
     def _false_terms_descending(
         self, stored: StoredConstraint
     ) -> List[Tuple[int, int]]:
-        trail = self.trail
+        # inlined literal_is_false: this runs once per implication reason
+        values = self.trail._value
         false_terms = [
             (coef, lit)
             for coef, lit in stored.constraint.terms
-            if trail.literal_is_false(lit)
+            if values[lit if lit > 0 else -lit] == (0 if lit > 0 else 1)
         ]
         false_terms.sort(key=lambda term: -term[0])
         return false_terms

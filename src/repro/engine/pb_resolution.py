@@ -88,6 +88,111 @@ def _tame(constraint: Constraint) -> Optional[Constraint]:
     return cardinality_reduction(constraint)
 
 
+class ResolutionScratch:
+    """Flat, reusable coefficient buffers for the resolution walk.
+
+    :func:`derive_resolvent` probes the working resolvent once per
+    resolved variable; on a fresh :class:`~repro.pb.constraints.Constraint`
+    every probe first builds the constraint's lazy literal->coefficient
+    dict — an O(n) allocation per resolution step.  The scratchpad
+    instead mirrors the working resolvent into two flat lists indexed by
+    variable (the literal present and its coefficient), so the
+    "already cancelled" test and the cancellation lookup are plain array
+    loads.  Buffers are sparsely cleared through a touched-variable
+    worklist, exactly like :class:`~repro.engine.conflict.ConflictAnalyzer`,
+    so a derivation costs O(resolvent size), never O(num_variables).
+
+    The combination itself still goes through
+    :meth:`Constraint.greater_equal` — normalization's output is
+    independent of term order, so each intermediate resolvent is
+    byte-identical to what :func:`resolve` builds and proof traces
+    replay unchanged.
+
+    One instance per solver; reused across every conflict.
+    """
+
+    __slots__ = ("_lit", "_coef", "_touched")
+
+    def __init__(self, num_variables: int = 0):
+        self._lit = [0] * (num_variables + 1)  # literal present (0 = absent)
+        self._coef = [0] * (num_variables + 1)  # its coefficient
+        self._touched: List[int] = []
+
+    def _load(self, constraint: Constraint) -> None:
+        lit_of, coef_of, touched = self._lit, self._coef, self._touched
+        size = len(lit_of)
+        for coef, lit in constraint.terms:
+            var = lit if lit > 0 else -lit
+            if var >= size:
+                grow = var + 1 - size
+                lit_of.extend([0] * grow)
+                coef_of.extend([0] * grow)
+                size = var + 1
+            lit_of[var] = lit
+            coef_of[var] = coef
+            touched.append(var)
+
+    def _clear(self) -> None:
+        lit_of = self._lit
+        for var in self._touched:
+            lit_of[var] = 0
+        self._touched.clear()
+
+    def derive(
+        self,
+        conflict_constraint: Constraint,
+        resolved_variables: Sequence[int],
+        antecedent_of: Callable[[int], Optional[Constraint]],
+        trace: Optional[List[Tuple]] = None,
+    ) -> Optional[Constraint]:
+        """See :func:`derive_resolvent` (same contract, reused buffers)."""
+        resolvent = conflict_constraint
+        lit_of, coef_of = self._lit, self._coef
+        self._load(resolvent)
+        try:
+            for var in resolved_variables:
+                if var >= len(lit_of) or not lit_of[var]:
+                    continue  # already cancelled along the way
+                antecedent = antecedent_of(var)
+                if antecedent is None:
+                    return None
+                a = coef_of[var]
+                # The antecedent's lazy coefficient dict persists on the
+                # stored constraint, so this lookup amortizes across
+                # conflicts (unlike one on the throwaway resolvent).
+                b = antecedent.coefficient(-lit_of[var])
+                if not b:
+                    return None  # polarities do not oppose
+                g = math.gcd(a, b)
+                lambda_first = b // g
+                lambda_second = a // g
+                terms: List[Tuple[int, int]] = [
+                    (lambda_first * coef, lit) for coef, lit in resolvent.terms
+                ]
+                terms.extend(
+                    (lambda_second * coef, lit) for coef, lit in antecedent.terms
+                )
+                rhs = lambda_first * resolvent.rhs + lambda_second * antecedent.rhs
+                combined = Constraint.greater_equal(terms, rhs)
+                if combined.is_tautology:
+                    return None
+                if trace is not None:
+                    trace.append(("r", var, antecedent))
+                tamed = _tame(combined)
+                if tamed is None:
+                    return None
+                if trace is not None and tamed is not combined:
+                    trace.append(("w",))
+                resolvent = tamed
+                self._clear()
+                self._load(resolvent)
+        finally:
+            self._clear()
+        if resolvent.is_tautology or resolvent.is_clause:
+            return None  # nothing beyond the clausal learner
+        return resolvent
+
+
 def derive_resolvent(
     conflict_constraint: Constraint,
     resolved_variables: Sequence[int],
@@ -107,25 +212,10 @@ def derive_resolvent(
     to it — ``("r", var, antecedent_constraint)`` per resolution and
     ``("w",)`` per applied cardinality reduction — in replayable order
     (the format :class:`repro.certify.ProofLogger.log_resolvent` takes).
+
+    Convenience wrapper over :class:`ResolutionScratch`; long-running
+    callers (the solver) hold one scratchpad and reuse it instead.
     """
-    resolvent = conflict_constraint
-    for var in resolved_variables:
-        if resolvent.coefficient(var) == 0 and resolvent.coefficient(-var) == 0:
-            continue  # already cancelled along the way
-        antecedent = antecedent_of(var)
-        if antecedent is None:
-            return None
-        combined = resolve(resolvent, antecedent, var)
-        if combined is None or combined.is_tautology:
-            return None
-        if trace is not None:
-            trace.append(("r", var, antecedent))
-        tamed = _tame(combined)
-        if tamed is None:
-            return None
-        if trace is not None and tamed is not combined:
-            trace.append(("w",))
-        resolvent = tamed
-    if resolvent.is_tautology or resolvent.is_clause:
-        return None  # nothing beyond the clausal learner
-    return resolvent
+    return ResolutionScratch().derive(
+        conflict_constraint, resolved_variables, antecedent_of, trace
+    )

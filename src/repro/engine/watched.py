@@ -74,6 +74,7 @@ class WatchedPropagator(PropagationEngine):
         self._qhead = 0
         # hot-path aliases; the database mutates these maps in place, so
         # the references stay valid across learned-constraint deletion
+        self._binary_watch = self.database.binary_watch
         self._clause_watch = self.database.clause_watch
         self._card_watch = self.database.card_watch
         self._pb_watch = self.database.pb_watch
@@ -133,35 +134,59 @@ class WatchedPropagator(PropagationEngine):
     # ------------------------------------------------------------------
     def _propagate_loop(self) -> Optional[Conflict]:
         trail_list = self.trail._trail
+        values = self.trail._value
         pending = self._pending
+        binary_get = self._binary_watch.get
         clause_get = self._clause_watch.get
         # instances are often clause-only: skip the cardinality/PB maps
         # entirely while they are empty
         card_watch = self._card_watch
         pb_watch = self._pb_watch
         while True:
-            # Drain the falsification queue first.  Clause/cardinality
-            # wakes imply inline (extending the queue in place, hence
+            # Drain the falsification queue first.  Binary clauses are
+            # fully inline (the single other literal decides everything,
+            # no watcher maintenance); clause/cardinality wakes imply
+            # inline (extending the queue in place, hence
             # len(trail_list) is re-read every iteration); general PB
             # wakes only adjust watches and *defer* their exact scans to
             # the pending queue, whose ``queued`` flag dedups them — a
             # high-arity constraint touched by many literals of one
             # propagation round is scanned once, not once per literal.
-            while self._qhead < len(trail_list):
-                lit = -trail_list[self._qhead]  # just became false
-                self._qhead += 1
+            qhead = self._qhead
+            while qhead < len(trail_list):
+                lit = -trail_list[qhead]  # just became false
+                qhead += 1
+                self._qhead = qhead
                 conflict = None
-                watchers = clause_get(lit)
-                if watchers:
-                    conflict = self._visit_clauses(lit, watchers)
+                entries = binary_get(lit)
+                if entries:
+                    for stored, other in entries:
+                        v = values[other if other > 0 else -other]
+                        if v == (1 if other > 0 else 0):
+                            continue  # satisfied
+                        if v < 0:
+                            self.num_propagations += 1
+                            self.imply(
+                                other, (other, lit),
+                                antecedent=stored.constraint,
+                            )
+                        else:  # both literals false
+                            conflict = Conflict(
+                                stored, self.explain_violation(stored)
+                            )
+                            break
+                if conflict is None:
+                    watchers = clause_get(lit)
+                    if watchers:
+                        conflict = self._visit_clauses(lit, watchers, values)
                 if card_watch and conflict is None:
                     watchers = card_watch.get(lit)
                     if watchers:
-                        conflict = self._visit_cards(lit, watchers)
+                        conflict = self._visit_cards(lit, watchers, values)
                 if pb_watch and conflict is None:
                     watchers = pb_watch.get(lit)
                     if watchers:
-                        self._visit_pb(lit, watchers)
+                        self._visit_pb(lit, watchers, values)
                 if conflict is not None:
                     self._clear_pending()
                     return conflict
@@ -180,8 +205,7 @@ class WatchedPropagator(PropagationEngine):
         self._pending.clear()
 
     # ------------------------------------------------------------------
-    def _visit_clauses(self, lit: int, watchers) -> Optional[Conflict]:
-        values = self.trail._value
+    def _visit_clauses(self, lit: int, watchers, values) -> Optional[Conflict]:
         clause_watch = self.database.clause_watch
         kept = []
         i = 0
@@ -200,14 +224,15 @@ class WatchedPropagator(PropagationEngine):
                 wl[1] = lit
             first = wl[0]
             fval = values[first if first > 0 else -first]
-            if fval >= 0 and fval == (1 if first > 0 else 0):
+            # values are {-1, 0, 1}: "satisfied" needs no assigned check
+            # and "non-false" is a single != against the falsifying value.
+            if fval == (1 if first > 0 else 0):
                 kept.append(stored)  # satisfied: keep watching lit
                 continue
             moved = False
             for k in range(2, len(wl)):
                 w = wl[k]
-                v = values[w if w > 0 else -w]
-                if v < 0 or v == (1 if w > 0 else 0):  # non-false
+                if values[w if w > 0 else -w] != (0 if w > 0 else 1):
                     wl[1] = w
                     wl[k] = lit
                     clause_watch.setdefault(w, []).append(stored)
@@ -227,9 +252,7 @@ class WatchedPropagator(PropagationEngine):
         return None
 
     # ------------------------------------------------------------------
-    def _visit_cards(self, lit: int, watchers) -> Optional[Conflict]:
-        trail = self.trail
-        values = trail._value
+    def _visit_cards(self, lit: int, watchers, values) -> Optional[Conflict]:
         card_watch = self.database.card_watch
         kept = []
         i = 0
@@ -252,8 +275,8 @@ class WatchedPropagator(PropagationEngine):
             moved = False
             for k in range(count, len(wl)):
                 w = wl[k]
-                v = values[w if w > 0 else -w]
-                if v < 0 or v == (1 if w > 0 else 0):  # non-false
+                # non-false is one comparison: values are {-1, 0, 1}
+                if values[w if w > 0 else -w] != (0 if w > 0 else 1):
                     wl[pos] = w
                     wl[k] = lit
                     card_watch.setdefault(w, []).append(stored)
@@ -282,7 +305,7 @@ class WatchedPropagator(PropagationEngine):
                 false_lits = tuple(
                     l
                     for _, l in constraint.terms
-                    if trail.literal_is_false(l)
+                    if values[l if l > 0 else -l] == (0 if l > 0 else 1)
                 )
                 for u in unassigned:
                     self.num_propagations += 1
@@ -291,7 +314,7 @@ class WatchedPropagator(PropagationEngine):
         return None
 
     # ------------------------------------------------------------------
-    def _visit_pb(self, lit: int, watchers) -> None:
+    def _visit_pb(self, lit: int, watchers, values) -> None:
         """Wake general PB constraints watching ``lit``.
 
         Only adjusts watch structures; violation/implication discovery is
@@ -300,7 +323,6 @@ class WatchedPropagator(PropagationEngine):
         propagation round pays one scan (matching the counter engine's
         pending-queue batching).
         """
-        values = self.trail._value
         database = self.database
         pb_watch = database.pb_watch
         pending = self._pending
@@ -323,8 +345,7 @@ class WatchedPropagator(PropagationEngine):
             for c2, l2 in constraint.terms:
                 if l2 in watch_set:
                     continue
-                v = values[l2 if l2 > 0 else -l2]
-                if v >= 0 and v == (0 if l2 > 0 else 1):
+                if values[l2 if l2 > 0 else -l2] == (0 if l2 > 0 else 1):
                     continue  # false: cannot help the watched sum
                 watch_set.add(l2)
                 pb_watch.setdefault(l2, []).append((stored, c2))
@@ -361,9 +382,8 @@ class WatchedPropagator(PropagationEngine):
         else:
             slack = -constraint.rhs
             for coef, l in constraint.terms:
-                v = values[l if l > 0 else -l]
-                if v < 0 or v == (1 if l > 0 else 0):  # non-false
-                    slack += coef
+                if values[l if l > 0 else -l] != (0 if l > 0 else 1):
+                    slack += coef  # non-false: one comparison suffices
         if slack < 0:
             return Conflict(stored, self.explain_violation(stored))
         if slack >= stored.max_coef:

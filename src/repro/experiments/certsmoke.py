@@ -17,11 +17,12 @@ from ..certify import ProofChecker, ProofError, ProofLogger
 from .runner import run_one
 from .table1 import family_instances
 
-#: (propagation backend, lb schedule, incremental bounds) grid — both
-#: engines, both schedulers, and the cold-bounder path all emit proofs.
+#: (propagation backend, lb schedule, incremental bounds) grid — every
+#: engine, both schedulers, and the cold-bounder path all emit proofs.
 CONFIGS: Tuple[Tuple[str, str, bool], ...] = (
     ("counter", "static", True),
     ("watched", "static", True),
+    ("array", "static", True),
     ("counter", "adaptive", True),
     ("counter", "static", False),
 )

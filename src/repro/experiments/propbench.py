@@ -43,7 +43,7 @@ from ..pb.instance import PBInstance
 FAMILIES = ("ptl", "grout", "random")
 
 #: Backends raced by default.
-BACKENDS = ("counter", "watched")
+BACKENDS = ("counter", "watched", "array")
 
 
 def family_instances(
@@ -195,23 +195,24 @@ def bench_metrics_overhead(
     benchmark replays the same seeded decision walk with no registry and
     with the disabled registry, best-of-``trials`` each, and reports the
     relative overhead (expected within noise of 0%; the acceptance bar
-    is 2%).
+    is 2%).  Trials alternate between the two registries so slow drift
+    on the host (thermal throttling, background load) hits both sides
+    equally instead of biasing whichever phase ran second.
     """
     from ..obs.metrics import NULL_METRICS
 
-    timings: Dict[str, float] = {}
-    for label, registry in (("baseline", None), ("disabled", NULL_METRICS)):
-        best: Optional[float] = None
-        for _ in range(max(1, trials)):
+    timings: Dict[str, Optional[float]] = {"baseline": None, "disabled": None}
+    for _ in range(max(1, trials)):
+        for label, registry in (("baseline", None), ("disabled", NULL_METRICS)):
             seconds = 0.0
             for index, instance in enumerate(instances):
                 outcome = drive_replay(
                     instance, backend, seed + index, rounds, metrics=registry
                 )
                 seconds += outcome["seconds"]
+            best = timings[label]
             if best is None or seconds < best:
-                best = seconds
-        timings[label] = best
+                timings[label] = seconds
     baseline = timings["baseline"]
     overhead = (
         (timings["disabled"] / baseline - 1.0) * 100.0 if baseline > 0 else 0.0
@@ -297,6 +298,12 @@ def bench_solve(
             result["speedup_%s_conflicts_per_sec" % backend] = round(
                 entry["conflicts_per_sec"] / baseline["conflicts_per_sec"], 3
             )
+        if entry["seconds"] and baseline["seconds"]:
+            # end-to-end wall-clock speedup over the counter baseline
+            # (> 1 means this backend solved the family faster)
+            result["speedup_%s_wall" % backend] = round(
+                baseline["seconds"] / entry["seconds"], 3
+            )
     return result
 
 
@@ -338,6 +345,12 @@ def run_propbench(
                 instances, rounds=rounds, trials=trials
             ),
         }
+        if "array" in backends:
+            # Verify the disabled registry stays free on the batched
+            # kernels too, not just on the counter loop.
+            entry["metrics_overhead_array"] = bench_metrics_overhead(
+                instances, backend="array", rounds=rounds, trials=trials
+            )
         if solve:
             entry["solve"] = bench_solve(
                 instances, backends, max_conflicts=max_conflicts, time_limit=time_limit
@@ -378,12 +391,13 @@ def format_summary(report: Dict[str, Any]) -> str:
             lines.append(
                 "  %-7s drive  WARNING: propagation counts diverged" % family
             )
-        overhead = entry.get("metrics_overhead")
-        if overhead:
-            lines.append(
-                "  %-7s drive  disabled-metrics overhead = %+.2f%% (%s)"
-                % (family, overhead["overhead_pct"], overhead["backend"])
-            )
+        for key in ("metrics_overhead", "metrics_overhead_array"):
+            overhead = entry.get(key)
+            if overhead:
+                lines.append(
+                    "  %-7s drive  disabled-metrics overhead = %+.2f%% (%s)"
+                    % (family, overhead["overhead_pct"], overhead["backend"])
+                )
         solve = entry.get("solve")
         if solve:
             for backend in report["backends"]:

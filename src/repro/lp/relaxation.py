@@ -124,15 +124,24 @@ class LPRelaxationBound:
         self._broken = False  # root relaxation unusable: stay cold
         self.num_calls = 0
         self.total_iterations = 0
+        self.total_batch_pivots = 0
         self.total_seconds = 0.0
         self.warm_calls = 0
         self.cold_calls = 0
         self.warm_fallbacks = 0
-        # Metrics (optional): pivot counter resolved once, fed with the
-        # per-call iteration delta after each compute.
+        # Metrics (optional): pivot counters resolved once, fed with the
+        # per-call deltas after each compute.
         live = metrics if (metrics is not None and metrics.enabled) else None
         self._m_pivots = (
             live.counter("lp_pivots", "Simplex pivots performed by the LP bounder")
+            if live is not None
+            else None
+        )
+        self._m_batch_pivots = (
+            live.counter(
+                "lp_batch_pivots",
+                "Simplex pivots applied via the batched array kernels",
+            )
             if live is not None
             else None
         )
@@ -158,6 +167,7 @@ class LPRelaxationBound:
         return {
             "calls": self.num_calls,
             "iterations": self.total_iterations,
+            "batch_pivots": self.total_batch_pivots,
             "seconds": round(self.total_seconds, 6),
             "warm_calls": self.warm_calls,
             "cold_calls": self.cold_calls,
@@ -176,6 +186,7 @@ class LPRelaxationBound:
         """
         started = time.perf_counter()
         iterations_before = self.total_iterations
+        batch_before = self.total_batch_pivots
         try:
             return self._compute(fixed, extra_constraints)
         finally:
@@ -184,6 +195,9 @@ class LPRelaxationBound:
                 delta = self.total_iterations - iterations_before
                 if delta:
                     self._m_pivots.inc(delta)
+                batch_delta = self.total_batch_pivots - batch_before
+                if batch_delta and self._m_batch_pivots is not None:
+                    self._m_batch_pivots.inc(batch_delta)
 
     def _compute(
         self,
@@ -223,6 +237,7 @@ class LPRelaxationBound:
         )
         result = solver.solve()
         self.total_iterations += result.iterations
+        self.total_batch_pivots += solver.batch_pivots
         if result.status != OPTIMAL:
             return None  # root LP infeasible or stuck: warm is hopeless
         model = _WarmModel(data, solver, {}, [True] * data.num_rows, 0, extras_key)
@@ -298,8 +313,10 @@ class LPRelaxationBound:
                 if fixed.get(var) != model.applied.get(var)
             }
         self._apply_node(model, fixed, changed)
+        batch_before = model.solver.batch_pivots
         result = model.solver.warm_resolve()
         self.total_iterations += result.iterations
+        self.total_batch_pivots += model.solver.batch_pivots - batch_before
         if result.status != OPTIMAL:
             # Only a certified optimum is trusted; infeasible/limit
             # outcomes are re-derived by the exact cold path.  An
@@ -355,6 +372,7 @@ class LPRelaxationBound:
         )
         result = solver.solve()
         self.total_iterations += result.iterations
+        self.total_batch_pivots += solver.batch_pivots
         if result.status == INFEASIBLE:
             return LowerBound(0, infeasible=True, iterations=result.iterations)
         if result.status != OPTIMAL:

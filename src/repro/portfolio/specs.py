@@ -68,9 +68,11 @@ _DEFAULT_LADDER = (
                    "propagation": "watched"}),
     ("linear-search", {"propagation": "watched"}),
     ("bsolo-lgr", {"lb_schedule": "adaptive"}),
-    ("bsolo-hybrid", {"pb_learning": True, "lb_schedule": "adaptive"}),
+    ("bsolo-hybrid", {"pb_learning": True, "lb_schedule": "adaptive",
+                      "propagation": "array"}),
     ("cutting-planes", {}),
     ("bsolo-plain", {"restarts": True, "propagation": "watched"}),
+    ("bsolo-lpr", {"propagation": "array", "restarts": True}),
     ("milp", {}),
 )
 

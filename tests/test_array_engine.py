@@ -1,0 +1,260 @@
+"""Array-backend specifics the generic differential suite cannot cover.
+
+``tests/test_prop_differential.py`` already runs the array engine
+through the shared lockstep fuzz and full-solve agreement checks.  This
+file adds what is unique to the vectorized backend:
+
+* the ``int64`` dtype guard — coefficient totals beyond ``2**62`` must
+  be rejected loudly (the pure-Python backends use unbounded ints and
+  would silently diverge otherwise), while coefficients far beyond the
+  ``int32`` range must still propagate exactly;
+* mid-search learned-constraint deletion under lockstep, exercising the
+  CSR compaction and queued-batch remapping against the counter oracle
+  on constraints drawn from every propbench family;
+* incremental sessions (push/pop frames, assumption solving) on the
+  array backend, checked cold-equivalent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchgen import constraint_stream
+from repro.core import OPTIMAL, BsoloSolver, SolverOptions
+from repro.engine.array_store import MAX_COEFFICIENT_TOTAL
+from repro.engine.interface import Conflict, make_engine
+from repro.experiments.propbench import family_instances
+from repro.incremental import make_session
+from repro.pb.constraints import Constraint
+
+BIG = 1 << 61
+
+
+# ----------------------------------------------------------------------
+# dtype / overflow guard
+# ----------------------------------------------------------------------
+class TestOverflowGuard:
+    def test_coefficient_total_beyond_int64_budget_raises(self):
+        engine = make_engine("array", 4)
+        # saturation clamps each coefficient to the rhs, so a huge rhs is
+        # needed to carry huge coefficients through normalization
+        constraint = Constraint.greater_equal(
+            [(BIG, 1), (BIG, 2), (BIG, 3)], BIG
+        )
+        assert sum(coef for coef, _ in constraint.terms) >= MAX_COEFFICIENT_TOTAL
+        with pytest.raises(OverflowError):
+            engine.add_constraint(constraint)
+        # the reference backend has no such limit
+        assert make_engine("counter", 4).add_constraint(constraint) is None
+
+    def test_single_saturated_coefficient_at_the_limit_raises(self):
+        engine = make_engine("array", 4)
+        constraint = Constraint.greater_equal(
+            [(MAX_COEFFICIENT_TOTAL, 1)], MAX_COEFFICIENT_TOTAL
+        )
+        with pytest.raises(OverflowError):
+            engine.add_constraint(constraint)
+
+    def test_beyond_int32_coefficients_propagate_exactly(self):
+        # coefficients around 2**40 overflow int32 many times over; the
+        # int64 arrays must agree with unbounded-int counter arithmetic
+        for seed in range(8):
+            rng = random.Random(900 + seed)
+            num_vars = 8
+            engines = [make_engine(name, num_vars) for name in ("counter", "array")]
+            for _ in range(6):
+                arity = rng.randint(2, 5)
+                variables = rng.sample(range(1, num_vars + 1), arity)
+                lits = [v if rng.random() < 0.5 else -v for v in variables]
+                coefs = [rng.randint(1, 1 << 40) for _ in lits]
+                rhs = rng.randint(1, max(1, sum(coefs) - 1))
+                constraint = Constraint.greater_equal(
+                    list(zip(coefs, lits)), rhs
+                )
+                results = [e.add_constraint(constraint) for e in engines]
+                assert isinstance(results[0], Conflict) == isinstance(
+                    results[1], Conflict
+                ), seed
+            for _ in range(12):
+                free = [
+                    v
+                    for v in range(1, num_vars + 1)
+                    if engines[0].trail.value(v) < 0
+                ]
+                if not free:
+                    break
+                var = rng.choice(free)
+                lit = var if rng.random() < 0.5 else -var
+                for engine in engines:
+                    engine.decide(lit)
+                outcomes = [engine.propagate() for engine in engines]
+                kinds = [isinstance(o, Conflict) for o in outcomes]
+                assert kinds[0] == kinds[1], seed
+                if kinds[0]:
+                    for engine in engines:
+                        engine.backtrack(0)
+                else:
+                    implied = [set(e.trail.literals) for e in engines]
+                    assert implied[0] == implied[1], seed
+
+
+# ----------------------------------------------------------------------
+# learned-constraint deletion lockstep
+# ----------------------------------------------------------------------
+def _random_clause(rng: random.Random, num_vars: int) -> Constraint:
+    arity = rng.randint(2, min(5, num_vars))
+    variables = rng.sample(range(1, num_vars + 1), arity)
+    return Constraint.clause(
+        [v if rng.random() < 0.5 else -v for v in variables]
+    )
+
+
+def _run_deletion_lockstep(instance, seed: int) -> None:
+    rng = random.Random(seed)
+    num_vars = instance.num_variables
+    engines = [make_engine(name, num_vars) for name in ("counter", "array")]
+    for constraint in instance.constraints:
+        for engine in engines:
+            engine.add_constraint(constraint)
+    learned: list = []
+    for step in range(60):
+        op = rng.random()
+        if op < 0.15:
+            # learn a random clause (both engines get the same object,
+            # so deletion can be coordinated by identity)
+            clause = _random_clause(rng, num_vars)
+            learned.append(clause)
+            results = [
+                engine.add_constraint(clause, learned=True)
+                for engine in engines
+            ]
+            kinds = [isinstance(r, Conflict) for r in results]
+            assert kinds[0] == kinds[1], ("add", seed, step)
+        elif op < 0.25 and learned:
+            # delete roughly half the learned constraints, mid-search
+            doomed = {
+                id(c) for c in learned if rng.random() < 0.5
+            }
+            learned = [c for c in learned if id(c) not in doomed]
+            removed = [
+                engine.reduce_learned(
+                    lambda stored: id(stored.constraint) not in doomed
+                )
+                for engine in engines
+            ]
+            assert removed[0] == removed[1], ("removed", seed, step)
+        elif op < 0.7:
+            free = [
+                v
+                for v in range(1, num_vars + 1)
+                if engines[0].trail.value(v) < 0
+            ]
+            if not free:
+                continue
+            var = rng.choice(free)
+            lit = var if rng.random() < 0.5 else -var
+            for engine in engines:
+                engine.decide(lit)
+            outcomes = [engine.propagate() for engine in engines]
+            kinds = [isinstance(o, Conflict) for o in outcomes]
+            assert kinds[0] == kinds[1], ("conflict", seed, step)
+            if kinds[0]:
+                level = engines[0].trail.decision_level
+                target = rng.randint(0, max(0, level - 1))
+                for engine in engines:
+                    engine.backtrack(target)
+            else:
+                implied = [set(e.trail.literals) for e in engines]
+                assert implied[0] == implied[1], (
+                    "implied",
+                    seed,
+                    step,
+                    implied[0] ^ implied[1],
+                )
+        else:
+            level = engines[0].trail.decision_level
+            if level == 0:
+                continue
+            target = rng.randint(0, level - 1)
+            for engine in engines:
+                engine.backtrack(target)
+        for v in range(1, num_vars + 1):
+            assert engines[0].trail.value(v) == engines[1].trail.value(v), (
+                "value",
+                seed,
+                step,
+                v,
+            )
+
+
+class TestLearnedDeletionLockstep:
+    @pytest.mark.parametrize("family", ["ptl", "grout", "random"])
+    def test_deletion_keeps_backends_in_lockstep(self, family):
+        instances = family_instances(family, count=1, scale=0.2)
+        for offset, instance in enumerate(instances):
+            for seed in range(4):
+                _run_deletion_lockstep(instance, 100 * offset + seed)
+
+
+# ----------------------------------------------------------------------
+# sessions and assumptions on the array backend
+# ----------------------------------------------------------------------
+def _options(**overrides):
+    base = dict(
+        preprocess=False,
+        covering_reductions=False,
+        propagation="array",
+    )
+    base.update(overrides)
+    return SolverOptions(**base)
+
+
+class TestArraySessions:
+    def test_push_pop_stream_is_cold_equivalent(self):
+        stream = constraint_stream(
+            num_variables=10, num_constraints=14, steps=6, seed=7
+        )
+        opts = _options(lower_bound="mis")
+        session = make_session(stream.instance, opts)
+        for index, step in enumerate(stream.steps):
+            if step.pop:
+                session.pop()
+            if step.push is not None:
+                session.push()
+                session.add_constraint(step.push)
+            warm = session.solve_under(step.assumptions)
+            effective, assumptions = stream.materialize(index)
+            cold = BsoloSolver(effective, opts)
+            cold.set_assumptions(list(assumptions))
+            reference = cold.solve()
+            assert (warm.status, warm.best_cost) == (
+                reference.status,
+                reference.best_cost,
+            ), "array session diverged at step %d" % index
+
+    def test_assumption_solving_matches_counter(self):
+        instances = family_instances("random", count=1, scale=0.2)
+        instance = instances[0]
+        rng = random.Random(17)
+        for _ in range(4):
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, instance.num_variables + 1), 2)
+            ]
+            outcomes = {}
+            for backend in ("counter", "array"):
+                solver = BsoloSolver(
+                    instance, SolverOptions(propagation=backend)
+                )
+                solver.set_assumptions(assumptions)
+                outcomes[backend] = solver.solve()
+            assert (
+                outcomes["counter"].status == outcomes["array"].status
+            ), assumptions
+            if outcomes["counter"].status == OPTIMAL:
+                assert (
+                    outcomes["counter"].best_cost
+                    == outcomes["array"].best_cost
+                ), assumptions

@@ -118,13 +118,13 @@ class TestWorkerSpecs:
         assert len(set(labels)) == 4
 
     def test_default_specs_cycle_with_perturbation(self):
-        specs = default_specs(10)
-        assert len(specs) == 10
+        specs = default_specs(11)
+        assert len(specs) == 11
         # rung 0 and its second-lap repeat use the same solver but
         # perturbed heuristics, so the searches diverge
-        assert specs[8].solver == specs[0].solver
+        assert specs[9].solver == specs[0].solver
         base = specs[0].options or SolverOptions()
-        assert specs[8].options.vsids_decay < base.vsids_decay
+        assert specs[9].options.vsids_decay < base.vsids_decay
 
     def test_default_specs_rejects_zero_workers(self):
         with pytest.raises(ValueError):

@@ -1,14 +1,15 @@
-"""Differential harness: the counter and watched backends must agree.
+"""Differential harness: every propagation backend must agree.
 
-Three layers of evidence:
+The counter engine is the reference; watched and array are checked
+against it (and each other) with three layers of evidence:
 
-* a randomized lockstep fuzz driving both engines through the same
+* a randomized lockstep fuzz driving all engines through the same
   decide/propagate/backtrack script and comparing implied sets,
   conflict outcomes and assignment values at every step;
 * full solves on small instances from each benchmark family, which
   must reach the same status and the same optimum cost;
 * a smoke run of the propbench harness, whose drive mode replays one
-  seeded walk on both backends and checks lockstep propagation counts.
+  seeded walk on every backend and checks lockstep propagation counts.
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ from repro.experiments.propbench import (
 )
 from repro.pb.constraints import Constraint
 
-BACKENDS = ("counter", "watched")
+BACKENDS = ("counter", "watched", "array")
 
 
 # ----------------------------------------------------------------------
@@ -62,7 +63,7 @@ def _run_lockstep_seed(seed: int) -> None:
             constraint = constraints.pop()
             results = [engine.add_constraint(constraint) for engine in engines]
             kinds = [isinstance(result, Conflict) for result in results]
-            assert kinds[0] == kinds[1], ("add mismatch", seed, step)
+            assert len(set(kinds)) == 1, ("add mismatch", seed, step, kinds)
             if kinds[0]:
                 return  # both conflicted at add; stop this seed
         elif op < 0.65:
@@ -79,7 +80,12 @@ def _run_lockstep_seed(seed: int) -> None:
                 engine.decide(lit)
             results = [engine.propagate() for engine in engines]
             kinds = [isinstance(result, Conflict) for result in results]
-            assert kinds[0] == kinds[1], ("conflict mismatch", seed, step)
+            assert len(set(kinds)) == 1, (
+                "conflict mismatch",
+                seed,
+                step,
+                kinds,
+            )
             if kinds[0]:
                 level = engines[0].trail.decision_level
                 target = rng.randint(0, max(0, level - 1))
@@ -89,12 +95,14 @@ def _run_lockstep_seed(seed: int) -> None:
                 # the implied-literal fixpoint of a *non-conflicting*
                 # propagate call is part of the equivalence contract
                 implied = [set(engine.trail.literals) for engine in engines]
-                assert implied[0] == implied[1], (
-                    "implied mismatch",
-                    seed,
-                    step,
-                    implied[0] ^ implied[1],
-                )
+                for backend, other in zip(BACKENDS[1:], implied[1:]):
+                    assert implied[0] == other, (
+                        "implied mismatch",
+                        seed,
+                        step,
+                        backend,
+                        implied[0] ^ other,
+                    )
         else:
             level = engines[0].trail.decision_level
             if level == 0:
@@ -104,11 +112,13 @@ def _run_lockstep_seed(seed: int) -> None:
                 engine.backtrack(target)
         trails = [engine.trail for engine in engines]
         for v in range(1, num_vars + 1):
-            assert trails[0].value(v) == trails[1].value(v), (
+            values = [trail.value(v) for trail in trails]
+            assert len(set(values)) == 1, (
                 "value mismatch",
                 seed,
                 step,
                 v,
+                values,
             )
 
 

@@ -61,11 +61,14 @@ class TestRegistry:
 class TestClassifiedAttach:
     def test_kinds_route_to_their_watch_maps(self):
         engine = watched_with(
-            4,
+            8,
             [
                 Constraint.clause([1, 2, 3]),
-                Constraint.at_least([1, 2, 3, 4], 2),
-                Constraint.greater_equal([(3, 1), (2, 2), (1, 3)], 3),
+                Constraint.at_least([1, 2, 3, 4, 5, 6, 7, 8], 2),
+                Constraint.greater_equal(
+                    [(8, 1), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8)],
+                    2,
+                ),
             ],
         )
         kinds = [stored.kind for stored in engine.database.constraints]
@@ -73,6 +76,30 @@ class TestClassifiedAttach:
         assert engine.database.clause_watch
         assert engine.database.card_watch
         assert engine.database.pb_watch
+
+    def test_binary_clauses_use_inline_lists(self):
+        engine = watched_with(2, [Constraint.clause([1, 2])])
+        (stored,) = engine.database.constraints
+        assert not engine.database.clause_watch
+        assert [e[0] for e in engine.database.binary_watch[1]] == [stored]
+        assert [e[0] for e in engine.database.binary_watch[2]] == [stored]
+
+    def test_dense_constraints_degrade_at_birth(self):
+        # Watching b+1 of n literals with b+1 >= 0.75n leaves no room
+        # for laziness: these attach straight into the counter regime.
+        engine = watched_with(
+            4,
+            [
+                Constraint.at_least([1, 2, 3, 4], 2),
+                Constraint.greater_equal([(3, 1), (2, 2), (1, 3)], 3),
+            ],
+        )
+        card, general = engine.database.constraints
+        assert card.watch_all and general.watch_all
+        assert not engine.database.card_watch
+        assert not engine.database.pb_watch
+        assert engine.database.pb_occ
+        engine.database.check_invariants()
 
     def test_clause_watches_exactly_two(self):
         engine = watched_with(4, [Constraint.clause([1, 2, 3, 4])])
@@ -85,7 +112,7 @@ class TestClassifiedAttach:
         assert len(watching) == 2
 
     def test_cardinality_watches_threshold_plus_one(self):
-        engine = watched_with(5, [Constraint.at_least([1, 2, 3, 4, 5], 3)])
+        engine = watched_with(9, [Constraint.at_least(list(range(1, 10)), 3)])
         (stored,) = engine.database.constraints
         watching = [
             lit

@@ -14,9 +14,12 @@ scale-invariant (always compared)
 
 relative metrics (same-config only)
     ``speedup_*`` ratios and ``simplex_iteration_reduction`` — compared
-    with ``--tolerance`` percent allowed degradation.  Skipped when the
-    configs differ: a speedup measured on tiny CI instances is not
-    comparable to one measured at full scale.
+    with ``--tolerance`` percent allowed degradation.  This prefix
+    covers both the per-call counters (``speedup_mis_calls_per_sec``)
+    and the end-to-end wall-clock keys (``speedup_<backend>_wall`` from
+    propbench solve mode, ``speedup_<config>_wall`` from lbbench solve
+    mode).  Skipped when the configs differ: a speedup measured on tiny
+    CI instances is not comparable to one measured at full scale.
 
 absolute rates (same-config only)
     ``props_per_sec`` / ``conflicts_per_sec`` / ``calls_per_sec`` —
