@@ -1,0 +1,88 @@
+"""Solve-as-a-service client tour: submit, stream, certify, cache.
+
+Starts an in-process service (``BackgroundServer`` — the same code path
+as ``python -m repro serve``, bound to an ephemeral port), then walks
+the whole protocol from the client side:
+
+1. submit a job and poll it to completion;
+2. stream a second job's Server-Sent Events live;
+3. request a proof-carrying solve and independently re-check the
+   certificate with :class:`repro.certify.ProofChecker`;
+4. resubmit the first instance under a different variable numbering and
+   watch the canonicalized-instance cache answer it instantly.
+
+Run:  python examples/service_client.py
+
+Protocol reference: docs/SERVICE.md.
+"""
+
+import io
+
+from repro import parse
+from repro.certify import ProofChecker
+from repro.service import BackgroundServer, ServiceClient, ServiceConfig
+
+#: A small gate-sizing flavoured instance (same shape as quickstart.py).
+INSTANCE = """\
+min: +5 x1 +3 x2 +4 x3;
++1 x1 +1 x2 >= 1;
++1 x2 +1 x3 >= 1;
++1 ~x1 +1 ~x3 >= 1;
+"""
+
+#: The same problem with the variables renumbered (1->4, 2->9, 3->2) —
+#: the service's canonical cache must recognize the equivalence.
+RENAMED = """\
+min: +5 x4 +3 x9 +4 x2;
++1 x4 +1 x9 >= 1;
++1 x9 +1 x2 >= 1;
++1 ~x4 +1 ~x2 >= 1;
+"""
+
+
+def main() -> None:
+    config = ServiceConfig(port=0, workers=2, default_deadline=30.0)
+    with BackgroundServer(config) as server:
+        client = ServiceClient(port=server.port)
+
+        # 1. submit and wait
+        job = client.submit(INSTANCE, solver="bsolo-lpr")
+        final = client.wait(job["id"], timeout=60.0)
+        result = final["result"]
+        print(
+            "solve     -> %s, cost %s, model %s"
+            % (result["status"], result["cost"], result["model"])
+        )
+
+        # 2. stream a fresh job's events (cache bypassed so it solves)
+        job = client.submit(INSTANCE, solver="bsolo-lpr", cache=False)
+        print("events    ->", end=" ")
+        for event, _data in client.events(job["id"]):
+            print(event, end=" ")
+        print()
+
+        # 3. a certified solve: the proof rides along in the result and
+        # is re-checked here, independently of the solver
+        job = client.submit(INSTANCE, solver="bsolo-lpr", proof=True)
+        final = client.wait(job["id"], timeout=60.0)
+        outcome = ProofChecker(parse(io.StringIO(INSTANCE))).check_text(
+            final["result"]["proof"]
+        )
+        print(
+            "certified -> checker says %s at cost %s"
+            % (outcome.status, outcome.cost)
+        )
+
+        # 4. the renamed duplicate is answered from the cache, with the
+        # model translated into *this* submission's variable numbering
+        job = client.submit(RENAMED, solver="bsolo-lpr")
+        result = job["result"]  # terminal immediately: no queueing
+        print(
+            "cache hit -> cached=%s, cost %s, model %s"
+            % (result["cached"], result["cost"], result["model"])
+        )
+        print("cache     ->", client.health()["cache"])
+
+
+if __name__ == "__main__":
+    main()

@@ -68,18 +68,22 @@ from .pb.opb import (
     write_wbo,
     write_wbo_file,
 )
+from .pb.canonical import CanonicalForm, canonical_form, canonical_hash
 from .portfolio import (
     PortfolioSolver,
     PortfolioStats,
     WorkerSpec,
     solve_portfolio,
 )
+from .service import BackgroundServer, ServiceClient, ServiceConfig
 from .wbo import SoftConstraint, WBOInstance, WBOSolver, solve_wbo
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackgroundServer",
     "BsoloSolver",
+    "CanonicalForm",
     "Constraint",
     "JsonlTracer",
     "NullTracer",
@@ -91,6 +95,8 @@ __all__ = [
     "PortfolioSolver",
     "PortfolioStats",
     "SATISFIABLE",
+    "ServiceClient",
+    "ServiceConfig",
     "SessionStats",
     "SoftConstraint",
     "SolveResult",
@@ -107,6 +113,8 @@ __all__ = [
     "WorkerSpec",
     "__version__",
     "available_solvers",
+    "canonical_form",
+    "canonical_hash",
     "canonical_name",
     "format_profile",
     "format_progress",

@@ -1,10 +1,12 @@
 """``python -m repro`` — alias for the ``bsolo`` command-line interface.
 
-Two subcommands are recognized before the solver CLI: ``certify``
+Three subcommands are recognized before the solver CLI: ``certify``
 dispatches to the independent proof checker
-(``python -m repro certify instance.opb proof.pbp``) and ``obs``
+(``python -m repro certify instance.opb proof.pbp``), ``obs``
 dispatches to the trace tooling
-(``python -m repro obs {merge,report} ...``).
+(``python -m repro obs {merge,report} ...``) and ``serve`` starts the
+async solve service (``python -m repro serve --port 8080``; protocol
+reference in docs/SERVICE.md).
 """
 
 import sys
@@ -17,4 +19,8 @@ if __name__ == "__main__":
         sys.exit(certify_main(argv[1:]))
     if argv and argv[0] == "obs":
         sys.exit(obs_main(argv[1:]))
+    if argv and argv[0] == "serve":
+        from .service import serve_main
+
+        sys.exit(serve_main(argv[1:]))
     sys.exit(main(argv))

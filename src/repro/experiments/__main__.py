@@ -11,6 +11,7 @@ Examples::
     python -m repro.experiments propbench --output BENCH_propagation.json
     python -m repro.experiments lbbench --output BENCH_lowerbound.json
     python -m repro.experiments increbench --output BENCH_incremental.json
+    python -m repro.experiments servebench --output BENCH_service.json
     python -m repro.experiments certsmoke --families mcnc grout
 """
 
@@ -39,6 +40,11 @@ from .lbbench import (
 from .propbench import FAMILIES as PROPBENCH_FAMILIES
 from .propbench import format_summary, run_propbench, write_report
 from .reporting import format_table1
+from .servebench import (
+    format_summary as format_servebench_summary,
+    run_servebench,
+    write_report as write_servebench_report,
+)
 from .runner import SOLVER_NAMES
 from .scaling import crossover_size, format_sweep, scaling_sweep
 from .table1 import FAMILIES, family_instances, generate_table1
@@ -171,6 +177,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     increbench.add_argument("--output", default="BENCH_incremental.json")
 
+    servebench = sub.add_parser(
+        "servebench",
+        help="drive the solve service over HTTP: throughput, latency, cache",
+    )
+    servebench.add_argument("--count", type=int, default=8)
+    servebench.add_argument("--scale", type=float, default=1.0)
+    servebench.add_argument("--seed", type=int, default=9000)
+    servebench.add_argument(
+        "--workers", type=int, default=4,
+        help="server-side worker-process shard size",
+    )
+    servebench.add_argument(
+        "--submitters", type=int, default=8,
+        help="client-side concurrent submitter threads",
+    )
+    servebench.add_argument(
+        "--variants", type=int, default=3,
+        help="renamed resubmissions per instance (duplicate scenario)",
+    )
+    servebench.add_argument("--solver", default="bsolo-lpr")
+    servebench.add_argument(
+        "--quick", action="store_true",
+        help="tiny instances and budgets (CI smoke configuration)",
+    )
+    servebench.add_argument("--output", default="BENCH_service.json")
+
     certsmoke = sub.add_parser(
         "certsmoke",
         help="solve with proof logging, then independently re-check every proof",
@@ -290,6 +322,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(format_increbench_summary(report))
         path = write_increbench_report(report, args.output)
+        print("wrote %s" % path)
+        if not report["lockstep_all"]:
+            return 1
+    elif args.command == "servebench":
+        if args.quick:
+            args.count, args.scale = 4, 0.6
+            args.workers, args.submitters, args.variants = 2, 4, 2
+        report = run_servebench(
+            count=args.count,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            submitters=args.submitters,
+            variants=args.variants,
+            solver=args.solver,
+        )
+        print(format_servebench_summary(report))
+        path = write_servebench_report(report, args.output)
         print("wrote %s" % path)
         if not report["lockstep_all"]:
             return 1

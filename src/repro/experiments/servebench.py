@@ -1,0 +1,342 @@
+"""Load generator for the solve service: throughput, latency, cache.
+
+Spins up an in-process :class:`~repro.service.BackgroundServer`, drives
+it over real HTTP with a pool of submitter threads, and reports the
+service-level numbers the other BENCH_* producers report for the solver
+core: jobs/sec, p50/p99 end-to-end latency, and the cache hit rate.
+
+Two scenarios (the ``families`` of the report):
+
+* **mixed** — distinct random instances submitted concurrently with the
+  cache bypassed, every result cross-checked against a direct
+  :func:`repro.api.solve` on the same instance
+  (``lockstep_results_match``: any status/cost divergence fails the
+  family at every scale);
+* **duplicates** — a small pool of base instances, each submitted once
+  and then re-submitted as *renamed* variants (fresh random variable
+  permutations), so the canonicalized-instance cache must recognize the
+  equivalences.  ``cache_hit_rate`` is the headline (the acceptance
+  floor is simply > 0), and ``lockstep_duplicates_match`` asserts every
+  cached answer equals the direct solve of its own variant.
+
+Report shape follows the other BENCH_* producers::
+
+    {"benchmark": "service", "config": {...},
+     "families": {"mixed": {...}, "duplicates": {...}},
+     "lockstep_all": bool}
+
+Entry point: ``python -m repro.experiments servebench`` (``--quick``
+for the CI smoke configuration); writes ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api import solve as direct_solve
+from ..benchgen.random_pb import generate_planted
+from ..core.options import SolverOptions
+from ..pb.constraints import Constraint
+from ..pb.instance import PBInstance
+from ..pb.literals import variable
+from ..pb.objective import Objective
+from ..pb.opb import parse, write
+from ..service import BackgroundServer, ServiceClient, ServiceConfig
+
+#: Report families, in the order they run.
+FAMILIES: Tuple[str, ...] = ("mixed", "duplicates")
+
+#: Solver driven through the service (and directly, for lockstep).
+DEFAULT_SOLVER = "bsolo-lpr"
+
+
+def _permuted(instance: PBInstance, rng: random.Random) -> PBInstance:
+    """A structurally identical instance under a random variable
+    permutation — the cache must answer it from the original's entry."""
+    order = list(range(1, instance.num_variables + 1))
+    rng.shuffle(order)
+    perm = {var: order[var - 1] for var in range(1, instance.num_variables + 1)}
+    constraints = [
+        Constraint.greater_equal(
+            [
+                (coef, perm[variable(lit)] if lit > 0 else -perm[variable(lit)])
+                for coef, lit in constraint.terms
+            ],
+            constraint.rhs,
+        )
+        for constraint in instance.constraints
+    ]
+    objective = Objective(
+        {perm[var]: cost for var, cost in instance.objective.costs.items()},
+        offset=instance.objective.offset,
+    )
+    return PBInstance(
+        constraints, objective, num_variables=instance.num_variables
+    )
+
+
+def _instance_suite(
+    count: int, scale: float, seed: int
+) -> List[PBInstance]:
+    """Planted (satisfiable) random instances sized by ``scale``."""
+    num_variables = max(6, int(10 * scale))
+    num_constraints = max(8, int(16 * scale))
+    return [
+        generate_planted(
+            num_variables=num_variables,
+            num_constraints=num_constraints,
+            max_arity=3,
+            seed=seed + index,
+        )[0]
+        for index in range(count)
+    ]
+
+
+def _percentile(latencies: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a latency sample (seconds)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _drive(
+    client: ServiceClient,
+    texts: List[str],
+    solver: str,
+    cache: bool,
+    submitters: int,
+) -> Tuple[List[Dict[str, Any]], List[float], float]:
+    """Submit every instance from a thread pool and wait for results.
+
+    Returns the terminal job resources (submission order), the per-job
+    end-to-end latencies, and the total wall time of the batch.
+    """
+
+    def one(text: str) -> Tuple[Dict[str, Any], float]:
+        """Submit one instance and block until it is terminal."""
+        start = time.perf_counter()
+        job = client.submit(text, solver=solver, cache=cache)
+        if job["state"] not in ("done", "cancelled", "failed"):
+            job = client.wait(job["id"], timeout=300.0)
+        return job, time.perf_counter() - start
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=submitters) as pool:
+        outcomes = list(pool.map(one, texts))
+    wall = time.perf_counter() - wall_start
+    return [job for job, _ in outcomes], [lat for _, lat in outcomes], wall
+
+
+def bench_mixed(
+    client: ServiceClient,
+    instances: List[PBInstance],
+    solver: str,
+    submitters: int,
+) -> Dict[str, Any]:
+    """Distinct instances, cache bypassed: throughput + lockstep."""
+    texts = [write(instance) for instance in instances]
+    direct = [
+        direct_solve(parse(io.StringIO(text)), solver, SolverOptions())
+        for text in texts
+    ]
+    jobs, latencies, wall = _drive(
+        client, texts, solver, cache=False, submitters=submitters
+    )
+    lockstep = True
+    statuses: List[str] = []
+    for job, reference in zip(jobs, direct):
+        result = job.get("result") or {}
+        statuses.append(result.get("status", job["state"]))
+        if (
+            job["state"] != "done"
+            or result.get("status") != reference.status
+            or result.get("cost") != reference.best_cost
+        ):
+            lockstep = False
+    return {
+        "jobs": len(jobs),
+        "submitters": submitters,
+        "wall_seconds": round(wall, 6),
+        "jobs_per_sec": round(len(jobs) / max(wall, 1e-9), 3),
+        "latency_p50_seconds": round(_percentile(latencies, 0.50), 6),
+        "latency_p99_seconds": round(_percentile(latencies, 0.99), 6),
+        "statuses": statuses,
+        "lockstep_results_match": lockstep,
+    }
+
+
+def bench_duplicates(
+    client: ServiceClient,
+    instances: List[PBInstance],
+    solver: str,
+    submitters: int,
+    variants: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Renamed resubmissions: the canonical cache must serve them.
+
+    Base instances are submitted first (cold batch, populating the
+    cache), then ``variants`` fresh random renamings of each are
+    submitted together; every variant answer is checked against a
+    direct solve of that exact variant.
+    """
+    rng = random.Random(seed)
+    base_texts = [write(instance) for instance in instances]
+    variant_texts = [
+        write(_permuted(instance, rng))
+        for instance in instances
+        for _ in range(variants)
+    ]
+    _jobs, _lat, _wall = _drive(
+        client, base_texts, solver, cache=True, submitters=submitters
+    )
+    before = client.health()["cache"]
+    jobs, latencies, wall = _drive(
+        client, variant_texts, solver, cache=True, submitters=submitters
+    )
+    after = client.health()["cache"]
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    lookups = hits + misses
+    lockstep = True
+    cached_jobs = 0
+    for job, text in zip(jobs, variant_texts):
+        result = job.get("result") or {}
+        if result.get("cached"):
+            cached_jobs += 1
+        reference = direct_solve(
+            parse(io.StringIO(text)), solver, SolverOptions()
+        )
+        if (
+            job["state"] != "done"
+            or result.get("status") != reference.status
+            or result.get("cost") != reference.best_cost
+        ):
+            lockstep = False
+    return {
+        "base_jobs": len(base_texts),
+        "variant_jobs": len(jobs),
+        "variants_per_instance": variants,
+        "wall_seconds": round(wall, 6),
+        "jobs_per_sec": round(len(jobs) / max(wall, 1e-9), 3),
+        "latency_p50_seconds": round(_percentile(latencies, 0.50), 6),
+        "latency_p99_seconds": round(_percentile(latencies, 0.99), 6),
+        "cache_hits": hits,
+        "cache_lookups": lookups,
+        "cache_hit_rate": round(hits / max(lookups, 1), 4),
+        "cached_jobs": cached_jobs,
+        "lockstep_duplicates_match": lockstep,
+        # scale-invariant claim for benchdiff: renamed resubmissions hit
+        # the canonical cache at every scale, or the bench regressed
+        "lockstep_cache_effective": hits > 0,
+    }
+
+
+def run_servebench(
+    count: int = 8,
+    scale: float = 1.0,
+    seed: int = 9000,
+    workers: int = 4,
+    submitters: int = 8,
+    variants: int = 3,
+    solver: str = DEFAULT_SOLVER,
+) -> Dict[str, Any]:
+    """Run the full service benchmark; returns the report.
+
+    ``count`` sizes the instance pool, ``workers`` the server's process
+    shard, ``submitters`` the client thread pool, ``variants`` the
+    renamed resubmissions per base instance in the duplicate scenario.
+    """
+    instances = _instance_suite(count, scale, seed)
+    report: Dict[str, Any] = {
+        "benchmark": "service",
+        "config": {
+            "count": count,
+            "scale": scale,
+            "seed": seed,
+            "workers": workers,
+            "submitters": submitters,
+            "variants": variants,
+            "solver": solver,
+        },
+        "families": {},
+    }
+    config = ServiceConfig(
+        port=0, workers=workers, queue_depth=max(64, count * (variants + 2))
+    )
+    with BackgroundServer(config) as server:
+        client = ServiceClient(port=server.port)
+        report["families"]["mixed"] = bench_mixed(
+            client, instances, solver, submitters
+        )
+        report["families"]["duplicates"] = bench_duplicates(
+            client, instances, solver, submitters, variants, seed + 777
+        )
+        report["metrics"] = {
+            line.split()[0]: float(line.split()[1])
+            for line in client.metrics_text().splitlines()
+            if line.startswith("service_jobs_total")
+            or line.startswith("service_cache")
+        }
+    report["lockstep_all"] = all(
+        value
+        for entry in report["families"].values()
+        for key, value in entry.items()
+        if key.startswith("lockstep_")
+    )
+    return report
+
+
+def write_report(
+    report: Dict[str, Any], path: str = "BENCH_service.json"
+) -> str:
+    """Persist the benchmark report as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """Console table: one line per scenario."""
+    lines = ["solve-service load benchmark"]
+    header = "%-12s %6s %9s %10s %10s %9s %9s" % (
+        "scenario", "jobs", "jobs/s", "p50 ms", "p99 ms", "hit rate", "lockstep"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in FAMILIES:
+        entry = report["families"][name]
+        jobs = entry.get("variant_jobs", entry.get("jobs", 0))
+        lockstep = all(
+            value
+            for key, value in entry.items()
+            if key.startswith("lockstep_")
+        )
+        lines.append(
+            "%-12s %6d %9.2f %10.2f %10.2f %9s %9s"
+            % (
+                name,
+                jobs,
+                entry["jobs_per_sec"],
+                entry["latency_p50_seconds"] * 1e3,
+                entry["latency_p99_seconds"] * 1e3,
+                (
+                    "%.0f%%" % (entry["cache_hit_rate"] * 100)
+                    if "cache_hit_rate" in entry
+                    else "-"
+                ),
+                "yes" if lockstep else "NO",
+            )
+        )
+    lines.append(
+        "lockstep everywhere: %s" % ("yes" if report["lockstep_all"] else "NO")
+    )
+    return "\n".join(lines)

@@ -67,6 +67,7 @@ from .merge import (
 )
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     NULL_METRICS,
     Counter,
     Gauge,
@@ -90,6 +91,7 @@ __all__ = [
     "EVENT_KINDS",
     "EVENT_TYPES",
     "INCUMBENT",
+    "LATENCY_BUCKETS",
     "LOWER_BOUND",
     "NULL_METRICS",
     "NULL_TIMER",

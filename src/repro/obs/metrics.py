@@ -51,6 +51,14 @@ DEFAULT_BUCKETS = (
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: End-to-end request-latency bucket bounds (seconds), spanning
+#: cache-hit microlatencies to multi-minute solves; used by the service
+#: layer's ``service_job_seconds`` family (:mod:`repro.service.metrics`).
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
 _COUNTER = "counter"
 _GAUGE = "gauge"
 _HISTOGRAM = "histogram"

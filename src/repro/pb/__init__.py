@@ -7,6 +7,7 @@ interchange format.
 """
 
 from .builder import PBModel
+from .canonical import CanonicalForm, canonical_form, canonical_hash
 from .constraints import Constraint, ConstraintError, Term, normalize_terms
 from .instance import InfeasibleConstraintError, PBInstance
 from .literals import (
@@ -24,6 +25,7 @@ from .objective import Objective
 from .opb import OPBError, parse, parse_file, write, write_file
 
 __all__ = [
+    "CanonicalForm",
     "Constraint",
     "ConstraintError",
     "FALSE",
@@ -34,6 +36,8 @@ __all__ = [
     "PBModel",
     "TRUE",
     "Term",
+    "canonical_form",
+    "canonical_hash",
     "is_positive",
     "literal_to_str",
     "literal_value",

@@ -1,0 +1,251 @@
+"""Canonical forms for pseudo-boolean instances: normalize, rename, hash.
+
+The solve service caches results keyed on the *canonical form* of an
+instance, so equivalent submissions from different users hit the cache
+even when their variables are numbered differently or their terms and
+constraints arrive in a different order.  Two layers of normalization:
+
+* **term/constraint order** — :class:`~repro.pb.constraints.Constraint`
+  already normalizes coefficients and sorts terms by variable; this
+  module additionally sorts the constraint *list*, so shuffled inputs
+  serialize identically;
+* **variable renaming** — variables are relabeled by
+  individualization-refinement (the standard canonical-labeling loop:
+  Weisfeiler-Leman-style color refinement over the variable/constraint
+  incidence structure, then repeatedly fix the first member of the
+  smallest ambiguous color class and re-refine).
+
+Soundness does not depend on the refinement being a perfect isomorphism
+test: the canonical instance is produced by applying an *actual
+permutation* to the input, so ``canonical_form(A).text ==
+canonical_form(B).text`` proves ``A`` and ``B`` are renamings of each
+other (both are isomorphic to the shared canonical instance).  A weak
+tie-break can only *miss* an equivalence (a cache miss), never fabricate
+one — which is why cache lookups compare the full canonical text, not
+just the digest (see :mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .instance import PBInstance
+from .literals import variable
+
+
+class CanonicalForm:
+    """The canonical serialization of one instance plus its renaming.
+
+    ``renaming`` maps original variable indices to canonical ones
+    (both 1-based); ``text`` is the deterministic serialization of the
+    renamed instance and ``key`` its SHA-256 hex digest.  Models travel
+    through the renaming with :meth:`to_canonical_model` /
+    :meth:`from_canonical_model`, which is how the service cache serves
+    a result computed for one user's variable numbering to another
+    user's equivalent instance.
+    """
+
+    __slots__ = ("text", "key", "renaming", "_inverse")
+
+    def __init__(self, text: str, renaming: Dict[int, int]):
+        self.text = text
+        self.key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self.renaming = renaming
+        self._inverse: Optional[Dict[int, int]] = None
+
+    @property
+    def inverse(self) -> Dict[int, int]:
+        """Canonical variable index -> original variable index."""
+        if self._inverse is None:
+            self._inverse = {c: v for v, c in self.renaming.items()}
+        return self._inverse
+
+    def to_canonical_model(
+        self, model: Mapping[int, int]
+    ) -> Dict[int, int]:
+        """Rename an assignment over original variables into canonical
+        variable space (variables outside the renaming are dropped)."""
+        return {
+            self.renaming[var]: value
+            for var, value in model.items()
+            if var in self.renaming
+        }
+
+    def from_canonical_model(
+        self, model: Mapping[int, int]
+    ) -> Dict[int, int]:
+        """Rename a canonical-space assignment back to this instance's
+        original variable numbering."""
+        inverse = self.inverse
+        return {
+            inverse[var]: value
+            for var, value in model.items()
+            if var in inverse
+        }
+
+    def __repr__(self) -> str:
+        return "CanonicalForm(key=%s..., %d vars)" % (
+            self.key[:12],
+            len(self.renaming),
+        )
+
+
+def _rank(signatures: Dict[int, tuple]) -> Dict[int, int]:
+    """Replace each signature with its rank in the sorted unique order."""
+    order = {sig: index for index, sig in enumerate(sorted(set(signatures.values())))}
+    return {key: order[sig] for key, sig in signatures.items()}
+
+
+def _refine(
+    instance: PBInstance,
+    occurrences: Dict[int, List[Tuple[int, bool, int]]],
+    assigned: Dict[int, int],
+    var_color: Dict[int, int],
+    con_color: Dict[int, int],
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Run color refinement to a fixpoint.
+
+    Variable signatures combine the previous color, the objective cost,
+    the already-fixed canonical index (individualization) and the
+    multiset of ``(coefficient, polarity, constraint color)``
+    occurrences; constraint signatures combine the previous color, the
+    right-hand side and the multiset of ``(coefficient, polarity,
+    variable color)`` terms.  Including the previous colors makes the
+    partitions refine monotonically, so the loop terminates after at
+    most ``num_variables + num_constraints`` rounds.
+    """
+    costs = instance.objective.costs
+    while True:
+        con_sigs = {
+            index: (
+                con_color[index],
+                constraint.rhs,
+                tuple(
+                    sorted(
+                        (coef, lit > 0, var_color[variable(lit)])
+                        for coef, lit in constraint.terms
+                    )
+                ),
+            )
+            for index, constraint in enumerate(instance.constraints)
+        }
+        new_con = _rank(con_sigs)
+        var_sigs = {
+            var: (
+                var_color[var],
+                assigned.get(var, -1),
+                costs.get(var, 0),
+                tuple(
+                    sorted(
+                        (coef, positive, new_con[index])
+                        for coef, positive, index in occurrences[var]
+                    )
+                ),
+            )
+            for var in var_color
+        }
+        new_var = _rank(var_sigs)
+        if (
+            len(set(new_var.values())) == len(set(var_color.values()))
+            and len(set(new_con.values())) == len(set(con_color.values()))
+            and new_var == var_color
+            and new_con == con_color
+        ):
+            return var_color, con_color
+        var_color, con_color = new_var, new_con
+
+
+def canonical_form(instance: PBInstance) -> CanonicalForm:
+    """Compute the canonical form (renaming + serialization) of an
+    instance.
+
+    Runs individualization-refinement to derive a variable permutation
+    that is invariant under renaming wherever the refinement
+    discriminates (ties between structurally interchangeable variables
+    resolve to the same serialized text by symmetry), then serializes
+    the renamed instance with sorted constraints.
+    """
+    # Only *used* variables participate: a variable absent from both the
+    # objective and every constraint is free, so instances differing only
+    # in how many unused indices they declare canonicalize identically.
+    used = set(instance.objective.costs)
+    for constraint in instance.constraints:
+        for _coef, lit in constraint.terms:
+            used.add(variable(lit))
+    occurrences: Dict[int, List[Tuple[int, bool, int]]] = {
+        var: [] for var in used
+    }
+    for index, constraint in enumerate(instance.constraints):
+        for coef, lit in constraint.terms:
+            occurrences[variable(lit)].append((coef, lit > 0, index))
+
+    assigned: Dict[int, int] = {}
+    var_color = {var: 0 for var in used}
+    con_color = {index: 0 for index in range(len(instance.constraints))}
+    while len(assigned) < len(used):
+        var_color, con_color = _refine(
+            instance, occurrences, assigned, var_color, con_color
+        )
+        classes: Dict[int, List[int]] = {}
+        for var in sorted(used):
+            if var not in assigned:
+                classes.setdefault(var_color[var], []).append(var)
+        progressed = False
+        for color in sorted(classes):
+            members = classes[color]
+            if len(members) == 1:
+                assigned[members[0]] = len(assigned) + 1
+                progressed = True
+                continue
+            if not progressed:
+                # Individualize one member of the first ambiguous class
+                # and re-refine; whichever member is picked, the
+                # resulting serialization is identical when the members
+                # are genuinely interchangeable (an automorphism maps
+                # one choice onto another), and merely less shareable —
+                # never wrong — when they are not.
+                assigned[min(members)] = len(assigned) + 1
+            break
+
+    renaming = dict(assigned)
+    return CanonicalForm(_serialize(instance, renaming), renaming)
+
+
+def _serialize(instance: PBInstance, renaming: Dict[int, int]) -> str:
+    """Deterministic text form of the instance under ``renaming``."""
+    costs = instance.objective.costs
+    objective_terms = sorted(
+        (renaming[var], cost) for var, cost in costs.items()
+    )
+    lines = [
+        "vars %d" % len(renaming),
+        "min %d : %s"
+        % (
+            instance.objective.offset,
+            " ".join("%d x%d" % (cost, var) for var, cost in objective_terms),
+        ),
+    ]
+    rendered = []
+    for constraint in instance.constraints:
+        terms = sorted(
+            (renaming[variable(lit)], lit > 0, coef)
+            for coef, lit in constraint.terms
+        )
+        body = " ".join(
+            "%d %sx%d" % (coef, "" if positive else "~", var)
+            for var, positive, coef in terms
+        )
+        rendered.append("%s >= %d" % (body, constraint.rhs))
+    lines.extend(sorted(rendered))
+    return "\n".join(lines) + "\n"
+
+
+def canonical_hash(instance: PBInstance) -> str:
+    """SHA-256 hex digest of the instance's canonical form.
+
+    Equal digests for instances that are term permutations or variable
+    renamings of each other; cache implementations that must rule out
+    digest collisions should compare :attr:`CanonicalForm.text` as well.
+    """
+    return canonical_form(instance).key

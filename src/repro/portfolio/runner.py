@@ -233,9 +233,16 @@ class PortfolioSolver:
                 pending.discard(worker_id)
 
         # Main collection loop: until everyone reported, the deadline
-        # passed, or every process died without a word.
+        # passed, an external cancel arrived, or every process died
+        # without a word.
+        should_stop = self._options.should_stop
         while pending:
             if deadline is not None and time.monotonic() > deadline:
+                break
+            if should_stop is not None and should_stop():
+                # External cancellation (e.g. the solve service's stop
+                # event): enter the same wind-down as a deadline, so the
+                # caller still gets the best result collected so far.
                 break
             try:
                 handle(channel.get(timeout=0.05))

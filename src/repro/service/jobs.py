@@ -1,0 +1,253 @@
+"""Job objects and the bounded admission queue of the solve service.
+
+A :class:`Job` owns its lifecycle state machine (``queued -> running ->
+done | cancelled | failed``, with ``queued -> cancelled`` for jobs
+cancelled before a worker picks them up), its buffered event log (the
+source the SSE endpoint replays and tails), and the final result
+payload.  All mutation happens on the service's event loop; worker
+processes never touch a ``Job`` directly — their messages are forwarded
+onto the loop by the pump thread (:mod:`repro.service.workers`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from . import protocol
+from .protocol import SubmitRequest
+
+#: Monotonic tie-breaker so job ids sort in admission order in tests.
+_SEQUENCE = itertools.count(1)
+
+
+class QueueFullError(Exception):
+    """Admission rejected: queued + running jobs already at capacity."""
+
+
+class Job:
+    """One submitted solve, from admission to terminal state."""
+
+    __slots__ = (
+        "id",
+        "seq",
+        "request",
+        "state",
+        "reason",
+        "error",
+        "result",
+        "created_at",
+        "started_at",
+        "finished_at",
+        "cancel_requested",
+        "events",
+        "form",
+        "_wakeup",
+    )
+
+    def __init__(self, request: SubmitRequest):
+        self.id = uuid.uuid4().hex[:16]
+        self.seq = next(_SEQUENCE)
+        self.request = request
+        self.state = protocol.QUEUED
+        #: For cancelled jobs: ``"client"`` or ``"deadline"``.
+        self.reason: Optional[str] = None
+        #: For failed jobs: the worker's error text.
+        self.error: Optional[str] = None
+        #: Terminal result payload (status/cost/model/stats/proof/cached).
+        self.result: Optional[Dict[str, Any]] = None
+        self.created_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cancel_requested = False
+        #: Ordered event log ``(event_name, data)``; SSE replays this.
+        self.events: List[Tuple[str, Dict[str, Any]]] = []
+        #: Canonical form of the submitted instance (set by the service
+        #: when caching applies; carries the variable renaming used to
+        #: translate cached models).
+        self.form = None
+        self._wakeup = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        """True once the job reached done/cancelled/failed."""
+        return self.state in protocol.TERMINAL_STATES
+
+    def push_event(self, event: str, data: Dict[str, Any]) -> None:
+        """Append an SSE event and wake every tailing stream."""
+        self.events.append((event, data))
+        self._wakeup.set()
+
+    async def wait_events(self, start: int) -> int:
+        """Block until the event log grows past ``start``; returns the
+        new length.  Terminal jobs never grow, so callers must check
+        :attr:`terminal` when the log is drained."""
+        while len(self.events) <= start and not self.terminal:
+            self._wakeup.clear()
+            if len(self.events) > start or self.terminal:
+                break
+            await self._wakeup.wait()
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def mark_running(self) -> None:
+        """``queued -> running`` (a worker slot was acquired)."""
+        self._transition(protocol.QUEUED, protocol.RUNNING)
+        self.started_at = time.monotonic()
+
+    def mark_done(self, result: Dict[str, Any]) -> None:
+        """``running -> done`` (also ``queued -> done`` for cache hits)."""
+        if self.state not in (protocol.QUEUED, protocol.RUNNING):
+            raise ValueError("cannot finish a %s job" % self.state)
+        self.state = protocol.DONE
+        self.result = result
+        self.finished_at = time.monotonic()
+        self._wakeup.set()
+
+    def mark_cancelled(self, reason: str,
+                       result: Optional[Dict[str, Any]] = None) -> None:
+        """Enter ``cancelled`` (from queued or running) with a reason;
+        a best-so-far partial result may ride along."""
+        if self.terminal:
+            raise ValueError("cannot cancel a %s job" % self.state)
+        self.state = protocol.CANCELLED
+        self.reason = reason
+        self.result = result
+        self.finished_at = time.monotonic()
+        self._wakeup.set()
+
+    def mark_failed(self, error: str) -> None:
+        """Enter ``failed`` with the worker's error text."""
+        if self.terminal:
+            raise ValueError("cannot fail a %s job" % self.state)
+        self.state = protocol.FAILED
+        self.error = error
+        self.finished_at = time.monotonic()
+        self._wakeup.set()
+
+    def _transition(self, expected: str, target: str) -> None:
+        """Guarded state-machine edge."""
+        if self.state != expected:
+            raise ValueError(
+                "illegal transition %s -> %s" % (self.state, target)
+            )
+        self.state = target
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The ``GET /jobs/{id}`` representation."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "solver": self.request.solver,
+            "proof_requested": self.request.proof,
+            "events": len(self.events),
+        }
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.started_at is not None:
+            payload["queue_seconds"] = round(
+                self.started_at - self.created_at, 6
+            )
+        if self.finished_at is not None:
+            payload["elapsed_seconds"] = round(
+                self.finished_at - (self.started_at or self.created_at), 6
+            )
+        return payload
+
+
+class JobQueue:
+    """Bounded FIFO of submitted jobs plus the id -> job directory.
+
+    ``capacity`` bounds *live* jobs (queued + running): admission past
+    it raises :class:`QueueFullError` and the HTTP layer answers 503.
+    Terminal jobs stay resolvable by id until ``retain`` of them have
+    accumulated, then the oldest are dropped (the directory would
+    otherwise grow without bound under sustained traffic).
+    """
+
+    def __init__(self, capacity: int = 64, retain: int = 1024):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.retain = retain
+        self._pending: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._finished: Deque[str] = deque()
+        self._available = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def live(self) -> int:
+        """Jobs currently queued or running."""
+        return sum(
+            1 for job in self._jobs.values() if not job.terminal
+        )
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting for a worker slot."""
+        return len(self._pending)
+
+    def admit(self, job: Job) -> int:
+        """Accept a job or raise :class:`QueueFullError`; returns the
+        0-based queue position."""
+        if self.live >= self.capacity:
+            raise QueueFullError(
+                "queue full (%d live jobs, capacity %d)"
+                % (self.live, self.capacity)
+            )
+        self._jobs[job.id] = job
+        self._pending.append(job)
+        self._available.set()
+        return len(self._pending) - 1
+
+    def register(self, job: Job) -> None:
+        """Track a job that never waits for a worker (cache hits)."""
+        self._jobs[job.id] = job
+
+    async def next_job(self) -> Job:
+        """Wait for, then pop, the oldest non-cancelled pending job."""
+        while True:
+            while self._pending:
+                job = self._pending.popleft()
+                if not job.cancel_requested and not job.terminal:
+                    return job
+            self._available.clear()
+            if self._pending:
+                continue
+            await self._available.wait()
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Resolve a job by id (None when unknown or already evicted)."""
+        return self._jobs.get(job_id)
+
+    def finished(self, job: Job) -> None:
+        """Record a terminal job and evict beyond the retention bound."""
+        self._finished.append(job.id)
+        while len(self._finished) > self.retain:
+            dropped = self._finished.popleft()
+            self._jobs.pop(dropped, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Queue counters for ``/healthz``."""
+        running = sum(
+            1
+            for job in self._jobs.values()
+            if job.state == protocol.RUNNING
+        )
+        return {
+            "queued": self.depth,
+            "running": running,
+            "live": self.live,
+            "capacity": self.capacity,
+        }

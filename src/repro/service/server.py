@@ -1,0 +1,783 @@
+"""The solve service orchestrator and its asyncio HTTP/JSON front end.
+
+Pure stdlib: the HTTP layer is built directly on ``asyncio`` streams
+(no framework), implementing the small protocol surface documented in
+``docs/SERVICE.md``:
+
+* ``POST /jobs`` — submit an instance; 202 with the job resource
+* ``GET /jobs/{id}`` — poll a job (result attached once terminal)
+* ``GET /jobs/{id}/events`` — Server-Sent Events stream of the job
+* ``DELETE /jobs/{id}`` — cooperative cancel
+* ``GET /healthz`` — liveness + queue/cache counters
+* ``GET /metrics`` — deterministic metrics text exposition
+
+Orchestration model: one asyncio loop owns all job state.  A scheduler
+task moves admitted jobs from the bounded queue into per-job worker
+*processes* (at most ``ServiceConfig.workers`` concurrently, enforced
+with a semaphore — the portfolio-style shard), a pump thread per worker
+forwards progress/result messages back onto the loop, and per-job
+deadline watchdogs escalate from cooperative ``should_stop`` cancel to
+``terminate()`` after the grace period.  Cache hits short-circuit at
+submission time and never consume a worker slot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..pb.canonical import canonical_form
+from . import protocol
+from .cache import ResultCache, options_signature
+from .jobs import Job, JobQueue, QueueFullError
+from .metrics import ServiceMetrics
+from .protocol import ProtocolError, SubmitRequest, format_sse
+from .workers import launch_worker
+
+#: Seconds granted between cooperative cancel and hard terminate.
+DEFAULT_GRACE = 5.0
+
+
+class ServiceConfig:
+    """Deployment knobs of one service instance (docs/SERVICE.md)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        workers: int = 4,
+        queue_depth: int = 64,
+        cache_size: int = 256,
+        default_deadline: Optional[float] = 60.0,
+        max_deadline: float = 600.0,
+        grace: float = DEFAULT_GRACE,
+        metrics=None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        #: Bind address for the HTTP listener.
+        self.host = host
+        #: Bind port (0 = ephemeral; the bound port is reported back).
+        self.port = port
+        #: Worker-process shard size: jobs solving concurrently.
+        self.workers = workers
+        #: Live-job admission bound (queued + running); beyond it
+        #: ``POST /jobs`` answers 503.
+        self.queue_depth = queue_depth
+        #: Canonical-form result cache entries (0 disables caching).
+        self.cache_size = cache_size
+        #: Deadline applied to jobs that do not send ``timeout``
+        #: (None = unlimited).
+        self.default_deadline = default_deadline
+        #: Hard ceiling on any requested deadline.
+        self.max_deadline = max_deadline
+        #: Seconds between cooperative cancel and hard terminate.
+        self.grace = grace
+        #: Optional shared :class:`repro.obs.metrics.MetricsRegistry`.
+        self.metrics = metrics
+        #: ``multiprocessing`` start method (None = platform default).
+        self.start_method = start_method
+
+
+class SolveService:
+    """All service state and behavior, independent of the HTTP layer.
+
+    Tests (and the bench harness) can drive this object directly on an
+    event loop; the HTTP handlers below are a thin translation layer
+    over :meth:`submit`, :meth:`get`, :meth:`cancel` and
+    :meth:`stream_events`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.queue = JobQueue(capacity=self.config.queue_depth)
+        self.cache = ResultCache(capacity=self.config.cache_size)
+        self.metrics = ServiceMetrics(self.config.metrics)
+        self.started_at = time.monotonic()
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._job_tasks: Dict[str, asyncio.Task] = {}
+        self._handles: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler task on the running loop."""
+        if self._scheduler_task is None:
+            self._scheduler_task = asyncio.get_running_loop().create_task(
+                self._scheduler()
+            )
+
+    async def aclose(self) -> None:
+        """Stop the scheduler, cancel running jobs, kill workers."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        for handle in list(self._handles.values()):
+            handle.cancel()
+            handle.terminate()
+        for task in list(self._job_tasks.values()):
+            task.cancel()
+        for task in list(self._job_tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # ------------------------------------------------------------------
+    # Client-facing operations
+    # ------------------------------------------------------------------
+    def submit(self, request: SubmitRequest) -> Job:
+        """Admit a job (or serve it from the cache without queueing).
+
+        Raises :class:`ProtocolError` (``queue_full``) when the live-job
+        bound is reached.  Cache-eligible submissions compute the
+        canonical form here so equivalent-instance hits return
+        terminally ``done`` jobs immediately.
+        """
+        job = Job(request)
+        use_cache = (
+            request.cache and not request.proof and self.cache.capacity > 0
+        )
+        if use_cache:
+            job.form = canonical_form(request.instance)
+            signature = options_signature(request.options)
+            payload = self.cache.lookup(job.form, request.solver, signature)
+            if payload is not None:
+                self.queue.register(job)
+                job.push_event("queued", {"id": job.id, "position": 0})
+                job.mark_done(payload)
+                job.push_event("result", self._result_event(job))
+                self.queue.finished(job)
+                self.metrics.cache_outcome("hit")
+                self.metrics.job_outcome("done")
+                self.metrics.observe_phase("queue", 0.0)
+                self.metrics.observe_phase(
+                    "solve", time.monotonic() - job.created_at
+                )
+                return job
+            self.metrics.cache_outcome("miss")
+        else:
+            self.metrics.cache_outcome("bypass")
+        try:
+            position = self.queue.admit(job)
+        except QueueFullError as exc:
+            self.metrics.job_outcome("rejected")
+            raise ProtocolError("queue_full", str(exc))
+        self.metrics.queue_depth.set(self.queue.depth)
+        job.push_event("queued", {"id": job.id, "position": position})
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Resolve a job by id or raise ``not_found``."""
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ProtocolError("not_found", "unknown job %r" % job_id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cooperatively cancel a queued or running job.
+
+        Queued jobs terminate immediately; running jobs get the stop
+        signal and the deadline watchdog's grace-then-terminate
+        escalation.  Cancelling a terminal job raises ``conflict``.
+        """
+        job = self.get(job_id)
+        if job.terminal:
+            raise ProtocolError(
+                "conflict", "job %s already %s" % (job.id, job.state)
+            )
+        job.cancel_requested = True
+        if job.state == protocol.QUEUED:
+            job.mark_cancelled("client")
+            job.push_event("cancelled", {"id": job.id, "reason": "client"})
+            self.queue.finished(job)
+            self.metrics.job_outcome("cancelled")
+            self.metrics.queue_depth.set(self.queue.depth)
+        else:
+            handle = self._handles.get(job.id)
+            if handle is not None:
+                handle.cancel()
+        return job
+
+    async def stream_events(self, job_id: str):
+        """Async-iterate a job's events from the start until terminal."""
+        job = self.get(job_id)
+        index = 0
+        while True:
+            length = await job.wait_events(index)
+            while index < length:
+                yield job.events[index]
+                index += 1
+            if job.terminal and index >= len(job.events):
+                return
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` body."""
+        payload: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "workers": self.config.workers,
+        }
+        payload.update(self.queue.snapshot())
+        payload["cache"] = self.cache.snapshot()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Scheduling and worker management
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        """Move admitted jobs into worker slots, forever."""
+        while True:
+            job = await self.queue.next_job()
+            await self._slots.acquire()
+            if job.cancel_requested or job.terminal:
+                self._slots.release()
+                continue
+            task = asyncio.get_running_loop().create_task(self._run_job(job))
+            self._job_tasks[job.id] = task
+            task.add_done_callback(
+                lambda _t, job_id=job.id: self._job_tasks.pop(job_id, None)
+            )
+
+    def _effective_deadline(self, request: SubmitRequest) -> Optional[float]:
+        """The per-job wall-clock budget after clamping to the config."""
+        deadline = request.timeout
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is not None:
+            deadline = min(deadline, self.config.max_deadline)
+        return deadline
+
+    async def _run_job(self, job: Job) -> None:
+        """Drive one job through its worker process to a terminal state."""
+        if job.cancel_requested or job.terminal:
+            # Cancelled in the window between the scheduler popping the
+            # job and this task running; cancel() already finalized it.
+            self._slots.release()
+            return
+        loop = asyncio.get_running_loop()
+        done = asyncio.Event()
+        terminal: List[Tuple[str, Any]] = []
+
+        def on_message(kind: str, data: Any) -> None:
+            """Forwarded worker record (runs on the service loop)."""
+            if kind == "progress":
+                job.push_event("progress", data)
+            elif kind == "incumbent":
+                job.push_event("incumbent", data)
+            elif kind in ("result", "error"):
+                if not terminal:
+                    terminal.append((kind, data))
+                done.set()
+
+        deadline = self._effective_deadline(job.request)
+        job.mark_running()
+        self.metrics.queue_depth.set(self.queue.depth)
+        self.metrics.active_jobs.inc()
+        self.metrics.observe_phase("queue", job.started_at - job.created_at)
+        handle = launch_worker(
+            loop,
+            on_message,
+            job.request.instance_text,
+            job.request.solver,
+            dict(job.request.options),
+            job.request.proof,
+            job.request.progress_interval,
+            deadline,
+            start_method=self.config.start_method,
+        )
+        self._handles[job.id] = handle
+        job.push_event(
+            "started",
+            {"id": job.id, "solver": job.request.solver, "pid": handle.pid},
+        )
+        deadline_hit = False
+        try:
+            budget = (
+                deadline + self.config.grace if deadline is not None else None
+            )
+            try:
+                await asyncio.wait_for(done.wait(), timeout=budget)
+            except asyncio.TimeoutError:
+                # The worker overran deadline + grace: escalate from the
+                # cooperative stop to a hard kill.
+                deadline_hit = True
+                handle.cancel()
+                try:
+                    await asyncio.wait_for(
+                        done.wait(), timeout=self.config.grace
+                    )
+                except asyncio.TimeoutError:
+                    handle.terminate()
+                    try:
+                        await asyncio.wait_for(
+                            done.wait(), timeout=self.config.grace
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+            self._finalize(job, terminal, deadline_hit)
+        finally:
+            self._handles.pop(job.id, None)
+            self.metrics.active_jobs.dec()
+            self.metrics.observe_phase(
+                "solve", time.monotonic() - job.started_at
+            )
+            self.queue.finished(job)
+            self._slots.release()
+            await loop.run_in_executor(None, handle.join, 2.0)
+
+    def _finalize(
+        self,
+        job: Job,
+        terminal: List[Tuple[str, Any]],
+        deadline_hit: bool,
+    ) -> None:
+        """Translate the worker's terminal message into the job state."""
+        kind, data = terminal[0] if terminal else (None, None)
+        if job.cancel_requested:
+            partial = data if kind == "result" else None
+            job.mark_cancelled("client", partial)
+            job.push_event(
+                "cancelled",
+                {
+                    "id": job.id,
+                    "reason": "client",
+                    "cost": (partial or {}).get("cost"),
+                },
+            )
+            self.metrics.job_outcome("cancelled")
+            return
+        if kind == "result":
+            data = dict(data)
+            data.setdefault("cached", False)
+            if job.form is not None and job.request.cache:
+                data["cache_stored"] = self.cache.store(
+                    job.form,
+                    job.request.solver,
+                    options_signature(job.request.options),
+                    data,
+                )
+            job.mark_done(data)
+            job.push_event("result", self._result_event(job))
+            self.metrics.job_outcome("done")
+            return
+        if deadline_hit:
+            job.mark_cancelled("deadline")
+            job.push_event(
+                "cancelled", {"id": job.id, "reason": "deadline"}
+            )
+            self.metrics.job_outcome("cancelled")
+            return
+        job.mark_failed(str(data) if data else "worker reported no result")
+        job.push_event("failed", {"id": job.id, "error": job.error})
+        self.metrics.job_outcome("failed")
+
+    @staticmethod
+    def _result_event(job: Job) -> Dict[str, Any]:
+        """The SSE ``result`` payload: a summary, not the full model."""
+        result = job.result or {}
+        return {
+            "id": job.id,
+            "status": result.get("status"),
+            "cost": result.get("cost"),
+            "cached": bool(result.get("cached")),
+            "proof": "proof" in result,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+def _response_bytes(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    """Assemble one non-streaming HTTP/1.1 response."""
+    reason = {
+        200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict",
+        413: "Payload Too Large", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "OK")
+    head = (
+        "HTTP/1.1 %d %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %d\r\n"
+        "Connection: close\r\n"
+        "\r\n" % (status, reason, content_type, len(body))
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: Any) -> bytes:
+    """A JSON response with sorted keys (deterministic transcripts)."""
+    return _response_bytes(
+        status, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    )
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request (method, path, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    try:
+        method, path, _version = request_line.decode("ascii").split()
+    except ValueError:
+        raise ProtocolError("bad_request", "malformed request line")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > protocol.MAX_BODY_BYTES:
+        raise ProtocolError(
+            "payload_too_large",
+            "body of %d bytes exceeds the %d byte cap"
+            % (length, protocol.MAX_BODY_BYTES),
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class ServiceServer:
+    """The asyncio HTTP server bound to a :class:`SolveService`."""
+
+    def __init__(self, service: SolveService):
+        self.service = service
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: The actually-bound port (resolves port 0 after :meth:`start`).
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the service scheduler."""
+        config = self.service.config
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, then tear the service down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One connection = one request (``Connection: close``)."""
+        route = "unknown"
+        status = 500
+        try:
+            try:
+                method, path, _headers, body = await _read_request(reader)
+            except ConnectionError:
+                return
+            try:
+                route, status, response, stream_job = self._route(
+                    method, path, body
+                )
+            except ProtocolError as exc:
+                status, response, stream_job = (
+                    exc.status,
+                    _json_response(exc.status, exc.to_json()),
+                    None,
+                )
+            if stream_job is not None:
+                await self._write_sse(writer, stream_job)
+            else:
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # defensive: a handler bug must not kill the loop
+            try:
+                writer.write(
+                    _json_response(
+                        500,
+                        {"error": {"code": "internal", "message": str(exc)}},
+                    )
+                )
+                await writer.drain()
+            except Exception:
+                pass
+        finally:
+            self.service.metrics.http_request(route, status)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[str, int, Optional[bytes], Optional[str]]:
+        """Dispatch one request; returns (route, status, body, sse_job)."""
+        service = self.service
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise ProtocolError("method_not_allowed", "use GET /healthz")
+            return "/healthz", 200, _json_response(200, service.health()), None
+        if path == "/metrics":
+            if method != "GET":
+                raise ProtocolError("method_not_allowed", "use GET /metrics")
+            text = service.metrics.render_text().encode("utf-8")
+            return (
+                "/metrics",
+                200,
+                _response_bytes(200, text, "text/plain; charset=utf-8"),
+                None,
+            )
+        if path == "/jobs":
+            if method != "POST":
+                raise ProtocolError("method_not_allowed", "use POST /jobs")
+            try:
+                data = json.loads(body.decode("utf-8") or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ProtocolError("bad_request", "body is not JSON: %s" % exc)
+            request = SubmitRequest.from_json(data)
+            job = service.submit(request)
+            return "/jobs", 202, _json_response(202, job.to_json()), None
+        if path.startswith("/jobs/"):
+            remainder = path[len("/jobs/"):]
+            if remainder.endswith("/events"):
+                job_id = remainder[: -len("/events")].rstrip("/")
+                if method != "GET":
+                    raise ProtocolError(
+                        "method_not_allowed", "use GET /jobs/{id}/events"
+                    )
+                job = service.get(job_id)  # raises not_found
+                return "/jobs/{id}/events", 200, None, job.id
+            job_id = remainder
+            if method == "GET":
+                job = service.get(job_id)
+                return "/jobs/{id}", 200, _json_response(200, job.to_json()), None
+            if method == "DELETE":
+                job = service.cancel(job_id)
+                return "/jobs/{id}", 200, _json_response(200, job.to_json()), None
+            raise ProtocolError(
+                "method_not_allowed", "use GET or DELETE on /jobs/{id}"
+            )
+        raise ProtocolError("not_found", "no route %s" % path)
+
+    async def _write_sse(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        """Stream a job's event log as Server-Sent Events until terminal."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        async for event, data in self.service.stream_events(job_id):
+            writer.write(format_sse(event, data))
+            await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Embedding and CLI entry points
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """Run a service in a daemon thread; for tests, examples, benches.
+
+    Usage::
+
+        with BackgroundServer(ServiceConfig(port=0, workers=2)) as server:
+            client = ServiceClient(port=server.port)
+            ...
+
+    The context manager guarantees the loop, scheduler, and any worker
+    processes are torn down on exit.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig(port=0)
+        self.port: Optional[int] = None
+        self.service: Optional[SolveService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BackgroundServer":
+        """Start the loop thread and wait for the listener to bind."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError("service failed to start: %s" % self._error)
+        return self
+
+    def _run(self) -> None:
+        """Thread body: own loop, server, and graceful teardown."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        stop = loop.create_future()
+        self._stop_future = stop
+
+        async def main() -> None:
+            """Start the server, publish the port, park until stopped."""
+            self.service = SolveService(self.config)
+            server = ServiceServer(self.service)
+            try:
+                await server.start()
+            except BaseException as exc:
+                self._error = exc
+                self._started.set()
+                return
+            self.port = server.port
+            self._started.set()
+            try:
+                await stop
+            finally:
+                await server.aclose()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            def _finish() -> None:
+                """Resolve the park future on the loop thread."""
+                if not self._stop_future.done():
+                    self._stop_future.set_result(None)
+
+            try:
+                self._loop.call_soon_threadsafe(_finish)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve``: run the job server in the foreground.
+
+    Prints one ``c serve ...`` line once the listener is bound; stops
+    cleanly on Ctrl-C.  See docs/SERVICE.md for the deployment knobs.
+    """
+    parser = argparse.ArgumentParser(
+        prog="bsolo serve",
+        description=(
+            "Async HTTP/JSON solve service over the registered solvers "
+            "(protocol reference: docs/SERVICE.md)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker-process shard size: jobs solving concurrently",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="live-job admission bound (queued + running)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256,
+        help="canonicalized-instance result cache entries (0 disables)",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=60.0,
+        help="per-job deadline when the request sends none (seconds)",
+    )
+    parser.add_argument(
+        "--max-deadline", type=float, default=600.0,
+        help="ceiling on any requested per-job deadline (seconds)",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=DEFAULT_GRACE,
+        help="seconds between cooperative cancel and hard terminate",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.queue_depth < 1:
+        parser.error("--queue-depth must be >= 1")
+    if args.cache_size < 0:
+        parser.error("--cache-size must be >= 0")
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_size=args.cache_size,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        grace=args.grace,
+    )
+
+    async def main() -> None:
+        """Bind, announce, serve until interrupted."""
+        server = ServiceServer(SolveService(config))
+        await server.start()
+        print(
+            "c serve host=%s port=%d workers=%d queue_depth=%d cache_size=%d"
+            % (config.host, server.port, config.workers, config.queue_depth,
+               config.cache_size),
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("c serve stopped")
+    return 0

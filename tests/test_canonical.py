@@ -1,0 +1,293 @@
+"""Canonical forms: renaming invariance, discrimination, cache keys."""
+
+import io
+import random
+
+import pytest
+
+from repro.pb.canonical import CanonicalForm, canonical_form, canonical_hash
+from repro.pb.constraints import Constraint
+from repro.pb.instance import PBInstance
+from repro.pb.literals import variable
+from repro.pb.objective import Objective
+from repro.pb.opb import parse, write
+from repro.benchgen.random_pb import generate_random
+from repro.service.cache import ResultCache, options_signature
+
+
+def parse_text(text):
+    return parse(io.StringIO(text))
+
+
+def permuted(instance, seed):
+    """Rebuild ``instance`` under a random variable permutation."""
+    rng = random.Random(seed)
+    order = list(range(1, instance.num_variables + 1))
+    rng.shuffle(order)
+    perm = {v: order[v - 1] for v in range(1, instance.num_variables + 1)}
+    constraints = [
+        Constraint.greater_equal(
+            [
+                (coef, perm[variable(lit)] if lit > 0 else -perm[variable(lit)])
+                for coef, lit in con.terms
+            ],
+            con.rhs,
+        )
+        for con in instance.constraints
+    ]
+    rng.shuffle(constraints)
+    objective = Objective(
+        {perm[v]: c for v, c in instance.objective.costs.items()},
+        offset=instance.objective.offset,
+    )
+    return (
+        PBInstance(
+            constraints, objective, num_variables=instance.num_variables
+        ),
+        perm,
+    )
+
+
+BASE = (
+    "min: +1 x1 +2 x2 +3 x3;\n"
+    "+1 x1 +1 x2 +1 x3 >= 2;\n"
+    "+2 x1 +1 x2 >= 1;\n"
+)
+
+
+class TestRenamingInvariance:
+    def test_identical_text_same_hash(self):
+        assert canonical_hash(parse_text(BASE)) == canonical_hash(
+            parse_text(BASE)
+        )
+
+    def test_shuffled_constraints_same_hash(self):
+        shuffled = (
+            "min: +1 x1 +2 x2 +3 x3;\n"
+            "+2 x1 +1 x2 >= 1;\n"
+            "+1 x1 +1 x2 +1 x3 >= 2;\n"
+        )
+        assert canonical_hash(parse_text(BASE)) == canonical_hash(
+            parse_text(shuffled)
+        )
+
+    def test_renamed_variables_same_hash(self):
+        renamed = (
+            "min: +3 x1 +1 x9 +2 x4;\n"
+            "+1 x9 +1 x4 +1 x1 >= 2;\n"
+            "+2 x9 +1 x4 >= 1;\n"
+        )
+        assert canonical_hash(parse_text(BASE)) == canonical_hash(
+            parse_text(renamed)
+        )
+
+    def test_unused_declared_variables_ignored(self):
+        # x50 inflates num_variables without occurring anywhere
+        padded = BASE.replace("+2 x1 +1 x2 >= 1;", "+2 x1 +1 x2 >= 1;") + ""
+        wide = (
+            "min: +1 x10 +2 x20 +3 x50;\n"
+            "+1 x10 +1 x20 +1 x50 >= 2;\n"
+            "+2 x10 +1 x20 >= 1;\n"
+        )
+        assert canonical_hash(parse_text(padded)) == canonical_hash(
+            parse_text(wide)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_permutations_converge(self, seed):
+        instance = generate_random(
+            num_variables=9, num_constraints=14, seed=41
+        )
+        variant, _perm = permuted(instance, seed)
+        assert canonical_form(instance).text == canonical_form(variant).text
+
+    def test_permuted_roundtrip_through_opb(self, tmp_path=None):
+        instance = generate_random(
+            num_variables=7, num_constraints=10, seed=7
+        )
+        variant, _perm = permuted(instance, 3)
+        assert canonical_hash(parse_text(write(instance))) == canonical_hash(
+            parse_text(write(variant))
+        )
+
+
+class TestDiscrimination:
+    def test_different_rhs_different_hash(self):
+        other = BASE.replace(">= 2;", ">= 3;")
+        assert canonical_hash(parse_text(BASE)) != canonical_hash(
+            parse_text(other)
+        )
+
+    def test_different_coefficient_different_hash(self):
+        # 2 <= rhs, so the changed coefficient survives saturation and
+        # the instances are genuinely inequivalent
+        other = BASE.replace(
+            "+1 x1 +1 x2 +1 x3 >= 2;", "+2 x1 +1 x2 +1 x3 >= 2;"
+        )
+        assert canonical_hash(parse_text(BASE)) != canonical_hash(
+            parse_text(other)
+        )
+
+    def test_saturated_coefficients_normalize_together(self):
+        # coefficient saturation (coef capped at rhs) happens upstream in
+        # Constraint, so these two spellings are the same instance
+        other = BASE.replace("+2 x1 +1 x2 >= 1;", "+1 x1 +1 x2 >= 1;")
+        assert canonical_hash(parse_text(BASE)) == canonical_hash(
+            parse_text(other)
+        )
+
+    def test_different_objective_different_hash(self):
+        other = BASE.replace("min: +1 x1 +2 x2 +3 x3;",
+                             "min: +1 x1 +2 x2 +4 x3;")
+        assert canonical_hash(parse_text(BASE)) != canonical_hash(
+            parse_text(other)
+        )
+
+    def test_negated_literal_different_hash(self):
+        other = BASE.replace("+2 x1 +1 x2 >= 1;", "+2 ~x1 +1 x2 >= 1;")
+        assert canonical_hash(parse_text(BASE)) != canonical_hash(
+            parse_text(other)
+        )
+
+
+class TestModelTranslation:
+    def test_model_maps_through_renaming(self):
+        instance = parse_text(BASE)
+        variant, perm = permuted(instance, 11)
+        form_a = canonical_form(instance)
+        form_b = canonical_form(variant)
+        assert form_a.text == form_b.text
+        model = {1: 1, 2: 1, 3: 0}
+        canonical = form_a.to_canonical_model(model)
+        translated = form_b.from_canonical_model(canonical)
+        # the translated model assigns the permuted image of each var
+        assert translated == {perm[v]: val for v, val in model.items()}
+
+    def test_inverse_is_inverse(self):
+        form = canonical_form(parse_text(BASE))
+        for orig, canon in form.renaming.items():
+            assert form.inverse[canon] == orig
+
+
+class TestOptionsSignature:
+    def test_defaults_explicit_and_empty_agree(self):
+        assert options_signature({}) == options_signature(
+            {"lower_bound": "lpr"}
+        )
+
+    def test_semantic_knob_changes_signature(self):
+        assert options_signature({}) != options_signature(
+            {"lower_bound": "mis"}
+        )
+        assert options_signature({}) != options_signature(
+            {"max_conflicts": 5}
+        )
+
+    def test_budget_and_instrument_knobs_ignored(self):
+        assert options_signature({}) == options_signature(
+            {"time_limit": 3.0}
+        )
+
+
+class TestResultCache:
+    def _result(self, cost=3, model=None):
+        return {
+            "status": "optimal",
+            "cost": cost,
+            "model": model if model is not None else {"1": 1, "2": 1, "3": 0},
+            "stats": {"conflicts": 1, "decisions": 2, "elapsed": 0.01},
+        }
+
+    def test_hit_translates_model_to_requester_numbering(self):
+        cache = ResultCache(capacity=4)
+        instance = parse_text(BASE)
+        variant, perm = permuted(instance, 5)
+        sig = options_signature({})
+        form_a = canonical_form(instance)
+        assert cache.lookup(form_a, "bsolo-lpr", sig) is None
+        cache.store(form_a, "bsolo-lpr", sig, self._result())
+        form_b = canonical_form(variant)
+        hit = cache.lookup(form_b, "bsolo-lpr", sig)
+        assert hit is not None and hit["cached"] is True
+        assert hit["cost"] == 3
+        expected = {str(perm[v]): val
+                    for v, val in {1: 1, 2: 1, 3: 0}.items()}
+        assert hit["model"] == expected
+
+    def test_solver_and_options_partition_entries(self):
+        cache = ResultCache(capacity=4)
+        form = canonical_form(parse_text(BASE))
+        sig = options_signature({})
+        cache.store(form, "bsolo-lpr", sig, self._result())
+        assert cache.lookup(form, "bsolo-mis", sig) is None
+        assert (
+            cache.lookup(
+                form, "bsolo-lpr", options_signature({"lower_bound": "mis"})
+            )
+            is None
+        )
+        assert cache.lookup(form, "bsolo-lpr", sig) is not None
+
+    def test_inconclusive_results_not_stored(self):
+        cache = ResultCache(capacity=4)
+        form = canonical_form(parse_text(BASE))
+        sig = options_signature({})
+        assert not cache.store(
+            form, "bsolo-lpr", sig, {"status": "unknown", "cost": None}
+        )
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        sig = options_signature({})
+        forms = []
+        for seed in range(3):
+            instance = generate_random(
+                num_variables=6, num_constraints=8, seed=100 + seed
+            )
+            form = canonical_form(instance)
+            forms.append(form)
+            cache.store(form, "bsolo-lpr", sig, self._result(model={}))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # oldest entry evicted, newest two retained
+        assert cache.lookup(forms[0], "bsolo-lpr", sig) is None
+        assert cache.lookup(forms[1], "bsolo-lpr", sig) is not None
+        assert cache.lookup(forms[2], "bsolo-lpr", sig) is not None
+
+    def test_lru_recency_refresh_on_hit(self):
+        cache = ResultCache(capacity=2)
+        sig = options_signature({})
+        forms = []
+        for seed in range(3):
+            instance = generate_random(
+                num_variables=6, num_constraints=8, seed=200 + seed
+            )
+            forms.append(canonical_form(instance))
+        cache.store(forms[0], "bsolo-lpr", sig, self._result(model={}))
+        cache.store(forms[1], "bsolo-lpr", sig, self._result(model={}))
+        assert cache.lookup(forms[0], "bsolo-lpr", sig) is not None  # refresh
+        cache.store(forms[2], "bsolo-lpr", sig, self._result(model={}))
+        assert cache.lookup(forms[1], "bsolo-lpr", sig) is None  # evicted
+        assert cache.lookup(forms[0], "bsolo-lpr", sig) is not None
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        form = canonical_form(parse_text(BASE))
+        sig = options_signature({})
+        assert not cache.store(form, "bsolo-lpr", sig, self._result())
+        assert cache.lookup(form, "bsolo-lpr", sig) is None
+
+    def test_digest_collision_degrades_to_miss(self):
+        cache = ResultCache(capacity=4)
+        form = canonical_form(parse_text(BASE))
+        sig = options_signature({})
+        cache.store(form, "bsolo-lpr", sig, self._result())
+        # forge a form with the same digest but different text: the
+        # full-text comparison must refuse to serve the entry
+        forged = CanonicalForm.__new__(CanonicalForm)
+        forged.text = "vars 1\nmin 0 : 1 x1\n1 x1 >= 1\n"
+        forged.key = form.key
+        forged.renaming = {1: 1}
+        forged._inverse = None
+        assert cache.lookup(forged, "bsolo-lpr", sig) is None

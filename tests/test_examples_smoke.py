@@ -35,6 +35,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "root lower bounds" in result.stdout
 
+    def test_service_client(self):
+        result = run_example("service_client.py")
+        assert result.returncode == 0, result.stderr
+        assert "cache hit -> cached=True" in result.stdout
+        assert "certified -> checker says optimal" in result.stdout
+
     def test_all_examples_exist(self):
         expected = {
             "quickstart.py",
@@ -44,6 +50,7 @@ class TestExamples:
             "reproduce_table1.py",
             "ablation_study.py",
             "lagrangian_convergence.py",
+            "service_client.py",
         }
         present = {
             name for name in os.listdir(EXAMPLES) if name.endswith(".py")
